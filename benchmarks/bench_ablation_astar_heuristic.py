@@ -1,0 +1,106 @@
+"""Ablation — how much the A* guidance matters (Sections 4.3 and 5).
+
+Three searches solve the same sample workloads optimally:
+
+* the full priority function (Equation-3 execution bound plus the
+  provisioning/penalty bounds added in this reproduction);
+* the null heuristic (Dijkstra-style uniform-cost search), which is what the
+  paper prescribes for non-monotonic goals;
+* adaptive A* (Section 5): re-searching a *tightened* goal with the ``h'``
+  bound derived from the original solution, versus re-searching it cold.
+
+Reported numbers are node expansions (the quantity that dominates training
+time), so this ablation explains where the training-time behaviour of
+Figures 14-16 comes from.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.retraining import AdaptiveModeler
+from repro.evaluation.harness import format_table, uniform_workloads
+from repro.learning.trainer import ModelGenerator
+from repro.search.astar import astar_search
+from repro.search.problem import SchedulingProblem
+
+
+from repro.exceptions import SearchBudgetExceeded
+
+_NULL_BUDGET = 300_000
+
+
+def _expansions(workloads, environment, goal, budget=200_000):
+    total = 0
+    for workload in workloads:
+        problem = SchedulingProblem.for_workload(
+            workload, environment.vm_types, goal, environment.latency_model
+        )
+        result = astar_search(problem, max_expansions=budget)
+        total += result.expansions
+    return total
+
+
+def _run(environments, scale):
+    environment = environments["max"]
+    workloads = uniform_workloads(environment.templates, 4, 10, seed=240)
+    rows = []
+
+    # Full priority vs null heuristic: emulate the null heuristic by flattening
+    # the priority to the node's own partial cost.
+    full = _expansions(workloads, environment, environment.goal)
+    rows.append({"search": "A* with full bounds", "total expansions": full})
+
+    class _NullProblem(SchedulingProblem):
+        def priority(self, node):  # noqa: D102 - ablation override
+            if node.state.is_goal():
+                return node.partial_cost
+            return node.partial_cost if self.goal.is_monotonic else node.infra_cost
+
+    null_total = 0
+    for workload in workloads:
+        problem = _NullProblem.for_workload(
+            workload, environment.vm_types, environment.goal, environment.latency_model
+        )
+        try:
+            null_total += astar_search(problem, max_expansions=_NULL_BUDGET).expansions
+        except SearchBudgetExceeded:
+            null_total += _NULL_BUDGET
+    rows.append({"search": "A* with null heuristic", "total expansions": null_total})
+
+    # Adaptive A*: tighten the goal by 30% and re-search with / without h'.
+    generator = ModelGenerator(
+        templates=environment.templates,
+        vm_types=environment.vm_types,
+        latency_model=environment.latency_model,
+        config=scale.training,
+    )
+    modeler = AdaptiveModeler(generator, environment.training)
+    tightened = environment.goal.tightened(0.3, environment.templates)
+    _, adaptive_report = modeler.retrain(tightened)
+    rows.append(
+        {
+            "search": "adaptive A* (30% tighter goal, h' reuse)",
+            "total expansions": adaptive_report.total_expansions,
+        }
+    )
+    cold = 0
+    for workload in environment.training.workloads:
+        problem = SchedulingProblem.for_workload(
+            workload, environment.vm_types, tightened, environment.latency_model
+        )
+        cold += astar_search(problem, max_expansions=400_000).expansions
+    rows.append({"search": "cold A* (30% tighter goal)", "total expansions": cold})
+    return rows
+
+
+def test_ablation_astar_guidance(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    print(
+        "\nAblation — A* node expansions under different guidance\n"
+        + format_table(rows, ["search", "total expansions"])
+    )
+    by_name = {row["search"]: row["total expansions"] for row in rows}
+    assert by_name["A* with full bounds"] <= by_name["A* with null heuristic"]
+    assert (
+        by_name["adaptive A* (30% tighter goal, h' reuse)"]
+        <= by_name["cold A* (30% tighter goal)"] * 1.2 + 10
+    )

@@ -1,0 +1,70 @@
+"""Ablation — contribution of each feature family (Section 4.4).
+
+The paper argues for five feature families (wait-time, proportion-of-X,
+supports-X, cost-of-X, have-X) chosen to be workload-size independent and
+mutually non-redundant.  This ablation retrains the max-latency model from the
+*same* training decisions with one family removed at a time and measures the
+cost of the resulting schedules, showing how much each family contributes.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import CostModel
+from repro.evaluation.harness import format_table, uniform_workloads
+from repro.evaluation.metrics import mean
+from repro.learning.features import FEATURE_FAMILIES
+from repro.learning.trainer import ModelGenerator
+from repro.runtime.batch import BatchScheduler
+
+FAMILY_PREFIX = {
+    "wait_time": "wait_time",
+    "proportion_of": "proportion_of[",
+    "supports": "supports[",
+    "cost_of": "cost_of[",
+    "have": "have[",
+}
+
+
+def _run(environments, scale):
+    environment = environments["max"]
+    generator = ModelGenerator(
+        templates=environment.templates,
+        vm_types=environment.vm_types,
+        latency_model=environment.latency_model,
+        config=scale.training,
+    )
+    cost_model = CostModel(environment.latency_model)
+    workloads = uniform_workloads(environment.templates, 3, 40, seed=230)
+
+    def evaluate(model):
+        scheduler = BatchScheduler(model)
+        return mean(
+            [
+                cost_model.total_cost(scheduler.schedule(workload), environment.goal)
+                for workload in workloads
+            ]
+        )
+
+    rows = [{"configuration": "all features", "mean cost (c)": round(evaluate(environment.model), 2)}]
+    training_set = environment.training.training_set
+    for family in FEATURE_FAMILIES:
+        prefix = FAMILY_PREFIX[family]
+        dropped = [name for name in training_set.feature_names if name.startswith(prefix)]
+        reduced = training_set.without_features(dropped)
+        model = generator.fit_from_training_set(environment.goal, reduced)
+        rows.append(
+            {
+                "configuration": f"without {family}",
+                "mean cost (c)": round(evaluate(model), 2),
+            }
+        )
+    return rows
+
+
+def test_ablation_feature_families(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    print(
+        "\nAblation — schedule cost when one feature family is removed (max goal)\n"
+        + format_table(rows, ["configuration", "mean cost (c)"])
+    )
+    assert rows[0]["configuration"] == "all features"

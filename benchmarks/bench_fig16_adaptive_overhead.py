@@ -1,0 +1,51 @@
+"""Figure 16 — cost of adapting a model to a tightened performance goal.
+
+Section 5's adaptive modeling re-uses the original model's sample workloads
+and re-searches their scheduling graphs with the improved heuristic ``h'``.
+The paper tightens each goal by 0-100% of its slack and shows that shifts of
+up to ~40% retrain in under a second, with the cost growing as the shift gets
+larger (more samples change their optimal schedules).
+
+Reproduction: same sweep, scaled-down sample count.  The shape to check is
+that retraining time is far below full training time for small shifts and
+grows with the shift percentage.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.retraining import AdaptiveModeler
+from repro.evaluation.harness import format_table
+from repro.learning.trainer import ModelGenerator
+from repro.sla.factory import GOAL_KINDS
+
+SHIFT_PERCENTS = (10, 25, 40, 60, 80)
+
+
+def _run(environments, scale):
+    rows = []
+    for kind in GOAL_KINDS:
+        base = environments[kind]
+        generator = ModelGenerator(
+            templates=base.templates,
+            vm_types=base.vm_types,
+            latency_model=base.latency_model,
+            config=scale.training,
+        )
+        modeler = AdaptiveModeler(generator, base.training)
+        row = {"goal": kind, "full training (s)": round(base.training.training_time, 2)}
+        for percent in SHIFT_PERCENTS:
+            goal = base.goal.tightened(percent / 100.0, base.templates)
+            _, report = modeler.retrain(goal)
+            row[f"shift {percent}% (s)"] = round(report.retraining_time, 2)
+        rows.append(row)
+    return rows
+
+
+def test_fig16_adaptive_modeling_overhead(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    columns = ["goal", "full training (s)"] + [f"shift {p}% (s)" for p in SHIFT_PERCENTS]
+    print(
+        "\nFigure 16 — adaptive retraining time vs SLA shift (per goal)\n"
+        + format_table(rows, columns)
+    )
+    assert len(rows) == len(GOAL_KINDS)

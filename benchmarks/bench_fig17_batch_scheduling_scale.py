@@ -1,0 +1,50 @@
+"""Figure 17 — time to generate schedules for very large batches.
+
+Parsing the decision model costs O(h) per decision and at most 2n decisions
+are needed for an n-query batch, so scheduling scales linearly: the paper
+schedules 10,000 / 20,000 / 30,000 queries in under 1.5 seconds.
+
+Reproduction: identical batch sizes (the scheduler is pure Python, so absolute
+times are higher).  The shape to check is linear growth with the batch size
+and independence from the number of VMs the schedule ends up renting.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.evaluation.harness import format_table, uniform_workloads
+from repro.runtime.batch import BatchScheduler
+
+
+def _run(environments, scale):
+    environment = environments["max"]
+    scheduler = BatchScheduler(environment.model)
+    rows = []
+    for size in scale.scalability_sizes:
+        workload = uniform_workloads(environment.templates, 1, size, seed=170)[0]
+        started = time.perf_counter()
+        schedule = scheduler.schedule(workload)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "batch size": size,
+                "scheduling time (s)": round(elapsed, 3),
+                "time per query (ms)": round(elapsed / size * 1000.0, 4),
+                "VMs rented": schedule.num_vms(),
+            }
+        )
+    return rows
+
+
+def test_fig17_batch_scheduling_scalability(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    print(
+        "\nFigure 17 — schedule-generation time vs batch size (max-latency goal)\n"
+        + format_table(
+            rows, ["batch size", "scheduling time (s)", "time per query (ms)", "VMs rented"]
+        )
+    )
+    # Linear-scaling shape: per-query time roughly constant across batch sizes.
+    per_query = [row["time per query (ms)"] for row in rows]
+    assert max(per_query) <= 5.0 * min(per_query)

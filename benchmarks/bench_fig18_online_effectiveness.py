@@ -1,0 +1,78 @@
+"""Figure 18 — effectiveness of online scheduling vs. query arrival delay.
+
+The paper submits 30 queries one at a time with varying inter-arrival delays
+and compares the online scheduler's total cost with the optimal schedule,
+staying within 10% of optimal across arrival rates and goals.
+
+Reproduction: fewer queries (benchmark scale) and arrival delays expressed in
+seconds relative to the multi-minute query latencies.  The comparison baseline
+is the optimal *batch* schedule of the same workload, which is a lower bound
+on any online scheduler's cost, so the reported percentages are conservative.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.harness import format_table, uniform_workloads
+from repro.evaluation.metrics import percent_above
+from repro.exceptions import SearchBudgetExceeded
+from repro.learning.trainer import ModelGenerator
+from repro.runtime.online import OnlineOptimizations, OnlineScheduler
+from repro.search.optimal import find_optimal_schedule
+from repro.sla.factory import GOAL_KINDS
+from repro.workloads.generator import WorkloadGenerator
+
+ARRIVAL_DELAYS = (0.0, 15.0, 45.0, 90.0)
+SIZE_CAP = {"percentile": 10, "per_query": 14}
+
+
+def _run(environments, scale):
+    rows = []
+    for kind in GOAL_KINDS:
+        environment = environments[kind]
+        generator = ModelGenerator(
+            templates=environment.templates,
+            vm_types=environment.vm_types,
+            latency_model=environment.latency_model,
+            config=scale.training,
+        )
+        size = min(scale.online_queries, SIZE_CAP.get(kind, scale.online_queries))
+        base_workload = uniform_workloads(environment.templates, 1, size, seed=180)[0]
+        try:
+            optimal = find_optimal_schedule(
+                base_workload,
+                environment.vm_types,
+                environment.goal,
+                environment.latency_model,
+                max_expansions=scale.optimal_budget,
+            ).total_cost
+        except SearchBudgetExceeded:
+            optimal = None
+        row = {"goal": kind, "queries": size}
+        arrivals = WorkloadGenerator(environment.templates, seed=181)
+        for delay in ARRIVAL_DELAYS:
+            workload = arrivals.with_fixed_arrivals(base_workload, delay)
+            scheduler = OnlineScheduler(
+                base_training=environment.training,
+                generator=generator,
+                optimizations=OnlineOptimizations.all(),
+                wait_resolution=30.0,
+            )
+            report = scheduler.run(workload)
+            if optimal is None:
+                row[f"delay {delay:.0f}s (%)"] = float("nan")
+            else:
+                row[f"delay {delay:.0f}s (%)"] = round(
+                    percent_above(report.total_cost, optimal), 2
+                )
+        rows.append(row)
+    return rows
+
+
+def test_fig18_online_scheduling_effectiveness(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    columns = ["goal", "queries"] + [f"delay {d:.0f}s (%)" for d in ARRIVAL_DELAYS]
+    print(
+        "\nFigure 18 — online scheduling cost above the optimal batch schedule\n"
+        + format_table(rows, columns)
+    )
+    assert len(rows) == len(GOAL_KINDS)

@@ -1,0 +1,76 @@
+"""Figure 21 — mean and spread of schedule cost as workload skew grows.
+
+For the max-latency goal the paper schedules many skewed workloads per skew
+level and plots both WiSeDB's and the optimal scheduler's cost: the means stay
+flat while the *variance* grows with skew (a very skewed workload may consist
+of mostly cheap or mostly expensive queries), and WiSeDB's spread tracks the
+optimal's.
+
+Reproduction: smaller workload count per skew level; the shape to check is the
+flat mean and the growing, optimal-tracking spread.
+"""
+
+from __future__ import annotations
+
+from repro.core.cost_model import CostModel
+from repro.evaluation.harness import format_table, skewed_workloads
+from repro.evaluation.metrics import mean, spread
+from repro.exceptions import SearchBudgetExceeded
+from repro.runtime.batch import BatchScheduler
+from repro.search.optimal import find_optimal_schedule
+
+SKEW_LEVELS = (0.0, 0.5, 1.0)
+WORKLOADS_PER_LEVEL = 6
+WORKLOAD_SIZE = 15
+
+
+def _run(environments, scale):
+    environment = environments["max"]
+    scheduler = BatchScheduler(environment.model)
+    cost_model = CostModel(environment.latency_model)
+    rows = []
+    for skew in SKEW_LEVELS:
+        workloads = skewed_workloads(
+            environment.templates, WORKLOADS_PER_LEVEL, WORKLOAD_SIZE, skew, seed=210
+        )
+        model_costs = []
+        optimal_costs = []
+        for workload in workloads:
+            model_costs.append(
+                cost_model.total_cost(scheduler.schedule(workload), environment.goal)
+            )
+            try:
+                optimal_costs.append(
+                    find_optimal_schedule(
+                        workload,
+                        environment.vm_types,
+                        environment.goal,
+                        environment.latency_model,
+                        max_expansions=scale.optimal_budget,
+                    ).total_cost
+                )
+            except SearchBudgetExceeded:
+                continue
+        rows.append(
+            {
+                "skew": skew,
+                "WiSeDB mean (c)": round(mean(model_costs), 2),
+                "WiSeDB range (c)": round(spread(model_costs), 2),
+                "Optimal mean (c)": round(mean(optimal_costs), 2),
+                "Optimal range (c)": round(spread(optimal_costs), 2),
+            }
+        )
+    return rows
+
+
+def test_fig21_skew_cost_range(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    print(
+        "\nFigure 21 — cost mean and range vs skew (max-latency goal)\n"
+        + format_table(
+            rows,
+            ["skew", "WiSeDB mean (c)", "WiSeDB range (c)", "Optimal mean (c)", "Optimal range (c)"],
+        )
+    )
+    # The spread should not shrink as skew increases.
+    assert rows[-1]["WiSeDB range (c)"] >= rows[0]["WiSeDB range (c)"] - 1e-6

@@ -1,0 +1,105 @@
+"""Figure 22 — tolerance to query-latency prediction errors.
+
+WiSeDB relies on a latency prediction model; the paper injects zero-mean
+Gaussian error (standard deviation expressed as a percentage of the true
+latency) into the per-query predictions, which causes some queries to be
+treated as instances of the wrong template.  Costs stay near-optimal up to
+roughly 30% error and degrade sharply at 40%, when two thirds of queries are
+assigned to the wrong template.
+
+Reproduction: per-query noisy predictions map each query to the template with
+the closest predicted latency; the resulting (mis)labelled workload is
+scheduled with the trained model and evaluated with the *true* latencies.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.latency import QueryLatencyPredictor
+from repro.core.cost_model import CostModel
+from repro.evaluation.harness import format_table, uniform_workloads
+from repro.evaluation.metrics import mean, percent_above
+from repro.exceptions import SearchBudgetExceeded
+from repro.runtime.batch import BatchScheduler
+from repro.search.optimal import find_optimal_schedule
+from repro.sla.factory import GOAL_KINDS
+from repro.workloads.query import Query
+from repro.workloads.workload import Workload
+
+ERROR_LEVELS = (0.1, 0.2, 0.3, 0.4)
+SIZE_CAP = {"percentile": 12, "per_query": 18}
+
+
+def _relabel(workload, predictor):
+    """Workload as perceived by a scheduler using noisy latency predictions."""
+    queries = [
+        Query(
+            template_name=predictor.perceived_template(query),
+            query_id=query.query_id,
+            arrival_time=query.arrival_time,
+        )
+        for query in workload
+    ]
+    return Workload(workload.templates, queries)
+
+
+def _run(environments, scale):
+    rows = []
+    for kind in GOAL_KINDS:
+        environment = environments[kind]
+        scheduler = BatchScheduler(environment.model)
+        cost_model = CostModel(environment.latency_model)
+        size = min(scale.optimality_size, SIZE_CAP.get(kind, scale.optimality_size))
+        workloads = uniform_workloads(
+            environment.templates, max(2, scale.workloads_per_point - 1), size, seed=220
+        )
+        # The reference optimum is independent of the prediction error, so it
+        # is computed once per workload and shared across error levels.
+        optimal_costs = {}
+        for index, workload in enumerate(workloads):
+            try:
+                optimal_costs[index] = find_optimal_schedule(
+                    workload,
+                    environment.vm_types,
+                    environment.goal,
+                    environment.latency_model,
+                    max_expansions=scale.optimal_budget,
+                ).total_cost
+            except SearchBudgetExceeded:
+                continue
+        row = {"goal": kind}
+        for error in ERROR_LEVELS:
+            gaps = []
+            misassignment = []
+            for index, workload in enumerate(workloads):
+                if index not in optimal_costs:
+                    continue
+                predictor = QueryLatencyPredictor(
+                    environment.templates, error_std=error, seed=300 + index
+                )
+                misassignment.append(predictor.misassignment_rate(list(workload)))
+                perceived = _relabel(workload, predictor)
+                schedule = scheduler.schedule(perceived)
+                # Evaluate with the true templates and latencies.
+                true_by_id = {q.query_id: q for q in workload}
+                from repro.core.schedule import Schedule, VMAssignment
+
+                true_schedule = Schedule(
+                    VMAssignment(vm.vm_type, tuple(true_by_id[q.query_id] for q in vm.queries))
+                    for vm in schedule
+                )
+                cost = cost_model.total_cost(true_schedule, environment.goal)
+                gaps.append(percent_above(cost, optimal_costs[index]))
+            row[f"error {int(error * 100)}% (+%)"] = round(mean(gaps), 2)
+            row[f"error {int(error * 100)}% (mis)"] = round(mean(misassignment), 2)
+        rows.append(row)
+    return rows
+
+
+def test_fig22_latency_prediction_error(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    columns = ["goal"] + [c for c in rows[0] if c != "goal"]
+    print(
+        "\nFigure 22 — % above optimal (and template misassignment rate) vs prediction error\n"
+        + format_table(rows, columns)
+    )
+    assert len(rows) == len(GOAL_KINDS)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: train a WiSeDB model and schedule a batch workload.
+
+This example walks through the advisor's core loop on the paper's TPC-H
+workload specification:
+
+1. describe the workload (query templates) and the performance goal;
+2. train a decision model offline;
+3. schedule an incoming batch of queries;
+4. inspect the schedule and its Equation-1 cost.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import TrainingConfig, WiSeDBAdvisor, tpch_templates, units
+from repro.sla import MaxLatencyGoal
+from repro.workloads import WorkloadGenerator
+
+
+def main() -> None:
+    # 1. Workload specification: the ten TPC-H templates of Section 7.1, and a
+    #    max-latency goal of 2.5x the longest template (15 minutes).
+    templates = tpch_templates(10)
+    goal = MaxLatencyGoal.from_factor(templates, factor=2.5)
+    print(f"Workload specification: {len(templates)} templates")
+    print(f"Performance goal: {goal.describe()}")
+
+    # 2. Offline training.  TrainingConfig.fast() keeps this to a few seconds;
+    #    TrainingConfig.paper() reproduces the paper's N=3000 / m=18 corpus.
+    advisor = WiSeDBAdvisor(templates, config=TrainingConfig.fast(seed=1))
+    result = advisor.train(goal)
+    print(
+        f"Trained on {len(result.samples)} sample workloads "
+        f"({result.num_examples} decisions) in {result.training_time:.1f}s; "
+        f"decision tree depth {result.model.metadata.tree_depth}"
+    )
+
+    # 3. Schedule an incoming batch of 60 queries.
+    workload = WorkloadGenerator(templates, seed=7).uniform(60)
+    schedule = advisor.schedule_batch(workload)
+
+    # 4. Inspect the recommendation.
+    print(f"\nSchedule for {len(workload)} queries:")
+    print(f"  VMs to provision : {schedule.num_vms()}")
+    for index, vm in enumerate(schedule):
+        queue = ", ".join(q.template_name for q in vm.queries)
+        print(f"  vm{index} ({vm.vm_type.name}): {queue}")
+
+    cost = advisor.evaluate(schedule)
+    print("\nEquation-1 cost breakdown:")
+    print(f"  provisioning : {units.format_cents(cost.startup_cost)}")
+    print(f"  execution    : {units.format_cents(cost.execution_cost)}")
+    print(f"  SLA penalty  : {units.format_cents(cost.penalty_cost)}")
+    print(f"  total        : {units.format_cents(cost.total)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured entirely through ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` keeps working on minimal offline
+environments that lack the ``wheel`` package required for PEP 660 editable
+installs (pip falls back to ``setup.py develop`` via ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""WiSeDB: a learning-based workload management advisor for cloud databases.
+
+This package reproduces the system described in
+
+    Ryan Marcus and Olga Papaemmanouil.
+    "WiSeDB: A Learning-based Workload Management Advisor for Cloud Databases."
+    PVLDB 9(10), 2016 (arXiv:1601.08221).
+
+The public API mirrors the paper's architecture (Figure 1):
+
+* :class:`repro.WiSeDBAdvisor` — the end-to-end facade: train a model for a
+  workload specification and performance goal, recommend alternative
+  strategies, schedule batch and online workloads, and price schedules.
+* :mod:`repro.workloads` — query templates, workloads, and workload generators.
+* :mod:`repro.cloud` — the IaaS substrate (VM types, latency models, simulator).
+* :mod:`repro.sla` — the four supported performance goals and their penalties.
+* :mod:`repro.search` — the scheduling graph and A* optimal-schedule search.
+* :mod:`repro.learning` — feature extraction, decision-tree learning, training.
+* :mod:`repro.adaptive` — adaptive modeling and strategy recommendation.
+* :mod:`repro.runtime` — batch and online schedulers, cost estimation.
+* :mod:`repro.baselines` — FFD, FFI, Pack9 and trivial reference schedulers.
+* :mod:`repro.evaluation` — the experiment harness behind ``benchmarks/``.
+
+Quickstart::
+
+    from repro import WiSeDBAdvisor, tpch_templates
+    from repro.sla import MaxLatencyGoal
+    from repro.workloads import WorkloadGenerator
+    from repro.config import TrainingConfig
+
+    templates = tpch_templates(5)
+    advisor = WiSeDBAdvisor(templates, config=TrainingConfig.fast())
+    advisor.train(MaxLatencyGoal.from_factor(templates))
+    workload = WorkloadGenerator(templates, seed=1).uniform(50)
+    schedule = advisor.schedule_batch(workload)
+    print(advisor.evaluate(schedule).total, "cents")
+"""
+
+from repro.config import TrainingConfig
+from repro.core.advisor import WiSeDBAdvisor
+from repro.core.cost_model import CostBreakdown, CostModel
+from repro.core.schedule import Schedule, VMAssignment
+from repro.workloads.templates import QueryTemplate, TemplateSet, tpch_templates
+from repro.workloads.workload import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "QueryTemplate",
+    "Schedule",
+    "TemplateSet",
+    "TrainingConfig",
+    "VMAssignment",
+    "WiSeDBAdvisor",
+    "Workload",
+    "__version__",
+    "tpch_templates",
+]

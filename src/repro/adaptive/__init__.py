@@ -1,0 +1,14 @@
+"""Adaptive modeling and strategy recommendation (Sections 5 and 6.1)."""
+
+from repro.adaptive.emd import cost_profile_distance, earth_movers_distance
+from repro.adaptive.recommendation import Strategy, StrategyRecommender
+from repro.adaptive.retraining import AdaptiveModeler, AdaptiveRetrainingReport
+
+__all__ = [
+    "AdaptiveModeler",
+    "AdaptiveRetrainingReport",
+    "Strategy",
+    "StrategyRecommender",
+    "cost_profile_distance",
+    "earth_movers_distance",
+]

@@ -1,0 +1,176 @@
+"""Adaptive model generation for shifted performance goals (Section 5).
+
+Retraining a model from scratch for every candidate performance goal would be
+expensive: the dominating cost is re-searching the scheduling graph of every
+sample workload.  WiSeDB instead *adapts* an existing model: the sample
+workloads are kept, their scheduling graphs get new edge weights (reflecting
+the stricter goal), and the search is re-run with the adaptive-A* heuristic
+
+    h'(v) = max[ h(v), cost(R, g) - cost(R, v) ]
+
+where ``R`` is the original goal, ``g`` the original optimal goal vertex for
+that sample, and ``cost(R, v)`` the cost of ``v``'s partial schedule under the
+original goal.  The second term never overestimates when the new goal is
+stricter (Lemma 5.1), so the re-search stays exact while pruning far more
+aggressively than a fresh search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import SearchBudgetExceeded, TrainingError
+from repro.learning.dataset import TrainingSet
+from repro.learning.model import DecisionModel
+from repro.learning.trainer import (
+    ModelGenerator,
+    SampleSolution,
+    TrainingResult,
+    collect_examples,
+)
+from repro.search.problem import SchedulingProblem, SearchNode
+from repro.sla.base import PerformanceGoal
+
+
+@dataclass
+class AdaptiveRetrainingReport:
+    """Telemetry of one adaptive retraining run (used by Figure 16)."""
+
+    goal: PerformanceGoal
+    retraining_time: float
+    samples_retrained: int
+    samples_skipped: int
+    total_expansions: int
+
+
+class AdaptiveModeler:
+    """Derives models for stricter goals from an existing training run."""
+
+    def __init__(self, generator: ModelGenerator, base_result: TrainingResult) -> None:
+        if not base_result.workloads:
+            raise TrainingError(
+                "adaptive modeling requires the base TrainingResult to retain its "
+                "sample workloads"
+            )
+        self._generator = generator
+        self._base = base_result
+
+    @property
+    def base_result(self) -> TrainingResult:
+        """The original training run whose artefacts are being re-used."""
+        return self._base
+
+    # -- model derivation -------------------------------------------------------------
+
+    def retrain(self, new_goal: PerformanceGoal) -> tuple[TrainingResult, AdaptiveRetrainingReport]:
+        """Derive a model for *new_goal* by re-searching the stored samples.
+
+        The improved heuristic is only sound when *new_goal* is at least as
+        strict as the base goal; for relaxed goals the method transparently
+        falls back to the standard heuristic (the samples are still re-used,
+        so workload generation is never repeated).
+        """
+        start_time = time.perf_counter()
+        old_goal = self._base.goal
+        use_adaptive_bound = self._is_stricter(new_goal, old_goal)
+
+        extractor = self._generator.extractor
+        training_set = TrainingSet(extractor.feature_names)
+        samples: list[SampleSolution] = []
+        skipped = 0
+        total_expansions = 0
+
+        solved = {self._freeze(s.template_counts): s for s in self._base.samples}
+        for workload in self._base.workloads:
+            key = self._freeze(dict(workload.template_counts()))
+            old_solution = solved.get(key)
+            problem = SchedulingProblem.for_workload(
+                workload, self._generator.vm_types, new_goal, self._generator.latency_model
+            )
+            extra_bound = None
+            if use_adaptive_bound and old_solution is not None:
+                extra_bound = self._adaptive_bound(old_goal, old_solution.optimal_cost)
+            try:
+                examples, result = collect_examples(
+                    problem,
+                    extractor,
+                    max_expansions=self._generator.config.max_expansions,
+                    extra_lower_bound=extra_bound,
+                )
+            except SearchBudgetExceeded:
+                skipped += 1
+                continue
+            training_set.extend(examples)
+            total_expansions += result.expansions
+            samples.append(
+                SampleSolution(
+                    template_counts=dict(workload.template_counts()),
+                    optimal_cost=result.cost,
+                    expansions=result.expansions,
+                )
+            )
+
+        if not len(training_set):
+            raise TrainingError(
+                "adaptive retraining collected no examples; the shifted goal may be "
+                "infeasible for the stored sample workloads"
+            )
+
+        model = self._generator.fit_from_training_set(new_goal, training_set)
+        retraining_time = time.perf_counter() - start_time
+        model.metadata.num_training_samples = len(samples)
+        model.metadata.training_time_seconds = retraining_time
+
+        result = TrainingResult(
+            model=model,
+            training_set=training_set,
+            samples=samples,
+            goal=new_goal,
+            config=self._generator.config,
+            training_time=retraining_time,
+            search_time=retraining_time,
+            fit_time=0.0,
+            skipped_samples=skipped,
+            workloads=list(self._base.workloads),
+        )
+        report = AdaptiveRetrainingReport(
+            goal=new_goal,
+            retraining_time=retraining_time,
+            samples_retrained=len(samples),
+            samples_skipped=skipped,
+            total_expansions=total_expansions,
+        )
+        return result, report
+
+    def derive_model(self, new_goal: PerformanceGoal) -> DecisionModel:
+        """Convenience wrapper returning only the adapted model."""
+        result, _ = self.retrain(new_goal)
+        return result.model
+
+    # -- helpers --------------------------------------------------------------------
+
+    @staticmethod
+    def _freeze(counts: dict[str, int]) -> tuple[tuple[str, int], ...]:
+        return tuple(sorted(counts.items()))
+
+    @staticmethod
+    def _is_stricter(new_goal: PerformanceGoal, old_goal: PerformanceGoal) -> bool:
+        if new_goal.kind != old_goal.kind:
+            return False
+        return new_goal.deadline <= old_goal.deadline
+
+    @staticmethod
+    def _adaptive_bound(old_goal: PerformanceGoal, old_optimal_cost: float):
+        """The Section-5 lower bound ``cost(R', v) + [cost(R, g) - cost(R, v)]``.
+
+        ``cost(R', v)`` is the node's partial cost under the new goal (already
+        part of the node); ``cost(R, v)`` is re-evaluated under the old goal
+        using the node's lightweight outcomes.
+        """
+
+        def bound(node: SearchNode) -> float:
+            old_partial = node.infra_cost + old_goal.penalty(node.outcomes)
+            return node.partial_cost + max(0.0, old_optimal_cost - old_partial)
+
+        return bound

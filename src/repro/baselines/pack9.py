@@ -1,0 +1,43 @@
+"""The Pack9 heuristic (Section 7.2 / Figure 13).
+
+Pack9 targets percentile goals of the form "90% of queries must finish within
+the deadline": it sorts the workload by latency and repeatedly offers the nine
+shortest remaining queries followed by the single largest remaining query, so
+that the most expensive queries are concentrated in the 10% of the workload
+that is allowed to miss the deadline.  Placement itself is first-fit, shared
+with the FFD/FFI implementation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cloud.latency import LatencyModel
+from repro.cloud.vm import VMType
+from repro.baselines.first_fit import FirstFitScheduler
+from repro.sla.base import PerformanceGoal
+from repro.workloads.query import Query
+from repro.workloads.workload import Workload
+
+
+class Pack9Scheduler(FirstFitScheduler):
+    """First-fit placement with the 9-short-then-1-long offering order."""
+
+    #: How many short queries are offered before each long query.
+    short_run_length = 9
+
+    def __init__(
+        self, vm_type: VMType, goal: PerformanceGoal, latency_model: LatencyModel
+    ) -> None:
+        super().__init__(vm_type, goal, latency_model, descending=False)
+
+    def ordered_queries(self, workload: Workload) -> list[Query]:
+        """Nine shortest remaining queries, then the longest remaining, repeated."""
+        ascending = deque(workload.sorted_by_latency(descending=False))
+        ordered: list[Query] = []
+        while ascending:
+            for _ in range(min(self.short_run_length, len(ascending))):
+                ordered.append(ascending.popleft())
+            if ascending:
+                ordered.append(ascending.pop())
+        return ordered

@@ -1,0 +1,41 @@
+"""Trivial baselines: one query per VM, and everything on a single VM.
+
+Neither appears as a named competitor in the paper's plots, but both are
+useful reference points (and appear implicitly in its discussion): dedicating
+a VM to every query maximises performance at maximal provisioning cost, while
+a single shared VM minimises provisioning cost at maximal penalty exposure.
+The test-suite also uses them as easy-to-reason-about upper/lower anchors.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.vm import VMType
+from repro.core.schedule import Schedule, VMAssignment
+from repro.workloads.workload import Workload
+
+
+class OneQueryPerVMScheduler:
+    """Rents a dedicated VM for every query."""
+
+    def __init__(self, vm_type: VMType) -> None:
+        self._vm_type = vm_type
+
+    def schedule(self, workload: Workload) -> Schedule:
+        """One VM per query, in workload order."""
+        return Schedule(
+            VMAssignment(self._vm_type, (query,)) for query in workload
+        )
+
+
+class SingleVMScheduler:
+    """Queues the entire workload on one VM, shortest queries first."""
+
+    def __init__(self, vm_type: VMType) -> None:
+        self._vm_type = vm_type
+
+    def schedule(self, workload: Workload) -> Schedule:
+        """All queries on a single VM, ordered by increasing latency."""
+        if workload.is_empty():
+            return Schedule.empty()
+        ordered = workload.sorted_by_latency(descending=False)
+        return Schedule.single_vm(self._vm_type, list(ordered))

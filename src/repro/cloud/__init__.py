@@ -1,0 +1,43 @@
+"""The IaaS cloud substrate: VM types, latency models, and the execution simulator."""
+
+from repro.cloud.latency import (
+    LatencyModel,
+    PerturbedLatencyModel,
+    QueryLatencyPredictor,
+    TemplateLatencyModel,
+)
+from repro.cloud.simulator import (
+    ExecutionTrace,
+    ScheduleSimulator,
+    VMRental,
+    outcomes_of,
+    simulate,
+)
+from repro.cloud.vm import (
+    VMType,
+    VMTypeCatalog,
+    single_vm_type_catalog,
+    synthetic_vm_type_catalog,
+    t2_medium,
+    t2_small,
+    two_vm_type_catalog,
+)
+
+__all__ = [
+    "ExecutionTrace",
+    "LatencyModel",
+    "PerturbedLatencyModel",
+    "QueryLatencyPredictor",
+    "ScheduleSimulator",
+    "TemplateLatencyModel",
+    "VMRental",
+    "VMType",
+    "VMTypeCatalog",
+    "outcomes_of",
+    "simulate",
+    "single_vm_type_catalog",
+    "synthetic_vm_type_catalog",
+    "t2_medium",
+    "t2_small",
+    "two_vm_type_catalog",
+]

@@ -1,0 +1,167 @@
+"""Query latency models.
+
+WiSeDB relies on an external latency estimate ``l(q, i)`` — the time a query
+of some template takes on a VM of type ``i`` (Section 3).  The paper obtains
+these numbers by profiling TPC-H on EC2 and notes that any prediction model
+(e.g. [10, 11]) can be plugged in.  This module provides:
+
+* :class:`TemplateLatencyModel` — the deterministic model used for training and
+  scheduling: template base latency times the VM type's speed factor.
+* :class:`PerturbedLatencyModel` — a wrapper whose *predicted* template
+  latencies differ from the truth by multiplicative Gaussian noise.  This is
+  the substrate for the prediction-error sensitivity study (Figure 22).
+* :class:`QueryLatencyPredictor` — per-query noisy predictions plus the
+  "map unknown queries to the template with the closest predicted latency"
+  behaviour of Section 6.2, also used by Figure 22.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Protocol
+
+from repro.cloud.vm import VMType
+from repro.exceptions import SpecificationError, UnsupportedQueryError
+from repro.workloads.query import Query
+from repro.workloads.templates import TemplateSet
+
+
+class LatencyModel(Protocol):
+    """Anything that can estimate template latency on a VM type."""
+
+    def latency(self, template_name: str, vm_type: VMType) -> float:
+        """Predicted latency (seconds) of a *template_name* query on *vm_type*."""
+        ...  # pragma: no cover - protocol
+
+
+class TemplateLatencyModel:
+    """Deterministic latency model: base latency scaled by the VM speed factor."""
+
+    def __init__(self, templates: TemplateSet) -> None:
+        self._templates = templates
+
+    @property
+    def templates(self) -> TemplateSet:
+        """The template set whose latencies this model knows."""
+        return self._templates
+
+    def latency(self, template_name: str, vm_type: VMType) -> float:
+        """Latency of *template_name* on *vm_type* in seconds."""
+        if not vm_type.supports(template_name):
+            raise UnsupportedQueryError(template_name, vm_type.name)
+        template = self._templates[template_name]
+        return template.base_latency * vm_type.speed_factor(template_name)
+
+    def cheapest_execution_cost(self, template_name: str, vm_types) -> float:
+        """Cheapest possible pure execution cost of one query of *template_name*.
+
+        This is the inner ``min_i [f_r^i * l(q, i)]`` term of the admissible
+        A* heuristic (Equation 3).
+        """
+        costs = [
+            vm_type.running_cost * self.latency(template_name, vm_type)
+            for vm_type in vm_types
+            if vm_type.supports(template_name)
+        ]
+        if not costs:
+            raise UnsupportedQueryError(template_name, "<any>")
+        return min(costs)
+
+
+class PerturbedLatencyModel:
+    """A latency model whose template estimates are systematically wrong.
+
+    Each template's latency is scaled by a multiplicative factor drawn once
+    (per template) from ``N(1, error_std)``; the factor is clamped to stay
+    positive.  Scheduling decisions made with this model are then evaluated
+    against the true :class:`TemplateLatencyModel`, which reproduces the
+    "trained with an inaccurate cost model" condition of Figure 22.
+    """
+
+    def __init__(
+        self,
+        base: TemplateLatencyModel,
+        error_std: float,
+        seed: int | None = 0,
+    ) -> None:
+        if error_std < 0:
+            raise SpecificationError("error_std must be non-negative")
+        self._base = base
+        self._error_std = error_std
+        rng = random.Random(seed)
+        self._factors: dict[str, float] = {
+            name: max(0.05, rng.gauss(1.0, error_std))
+            for name in base.templates.names
+        }
+
+    @property
+    def error_std(self) -> float:
+        """Relative standard deviation of the injected latency error."""
+        return self._error_std
+
+    @property
+    def factors(self) -> Mapping[str, float]:
+        """The per-template multiplicative error factors actually drawn."""
+        return dict(self._factors)
+
+    def latency(self, template_name: str, vm_type: VMType) -> float:
+        """Perturbed latency estimate for *template_name* on *vm_type*."""
+        return self._base.latency(template_name, vm_type) * self._factors[template_name]
+
+
+class QueryLatencyPredictor:
+    """Per-query noisy latency predictions and template re-assignment.
+
+    Figure 22 models a latency predictor whose per-query estimate deviates
+    from the truth by a zero-mean Gaussian whose standard deviation is a given
+    percentage of the actual latency.  Because WiSeDB identifies queries by
+    latency alone, a noisy prediction may cause a query to be treated as an
+    instance of the wrong template; this class exposes exactly that mapping.
+    """
+
+    def __init__(
+        self,
+        templates: TemplateSet,
+        error_std: float,
+        seed: int | None = 0,
+        vm_type: VMType | None = None,
+    ) -> None:
+        if error_std < 0:
+            raise SpecificationError("error_std must be non-negative")
+        self._templates = templates
+        self._error_std = error_std
+        self._rng = random.Random(seed)
+        self._vm_type = vm_type
+        self._cache: dict[int, float] = {}
+
+    @property
+    def error_std(self) -> float:
+        """Relative standard deviation of the per-query prediction error."""
+        return self._error_std
+
+    def predicted_latency(self, query: Query) -> float:
+        """Noisy latency prediction for *query* (cached per query id)."""
+        if query.query_id not in self._cache:
+            true_latency = self._templates[query.template_name].base_latency
+            noise = self._rng.gauss(0.0, self._error_std * true_latency)
+            self._cache[query.query_id] = max(1.0, true_latency + noise)
+        return self._cache[query.query_id]
+
+    def perceived_template(self, query: Query) -> str:
+        """Template the scheduler believes *query* belongs to.
+
+        The query is mapped to the template with the closest *predicted*
+        latency (Section 6.2); with a large prediction error this is often not
+        the true template, which is what degrades Figure 22's right-hand side.
+        """
+        return self._templates.closest_by_latency(self.predicted_latency(query)).name
+
+    def misassignment_rate(self, queries) -> float:
+        """Fraction of *queries* mapped to a template other than their own."""
+        queries = list(queries)
+        if not queries:
+            return 0.0
+        wrong = sum(
+            1 for query in queries if self.perceived_template(query) != query.template_name
+        )
+        return wrong / len(queries)

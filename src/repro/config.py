@@ -1,0 +1,123 @@
+"""Default constants and tunable configuration for the WiSeDB reproduction.
+
+The values below mirror Section 7.1 of the paper:
+
+* the database application rents ``t2.medium``-class VMs at **$0.052 / hour**
+  with a measured start-up cost of **$0.0008**;
+* penalties accrue at **1 cent per second** of violation;
+* models are trained on **N = 3000** sample workloads of **m = 18** queries.
+
+The paper's training runs in Java and completes in 20-120 seconds; a pure
+Python A* is considerably slower, so :class:`TrainingConfig` exposes both the
+paper-scale defaults and a :meth:`TrainingConfig.fast` preset used by the test
+suite and benchmark harness.  Every experiment in ``benchmarks/`` documents the
+scale it uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro import units
+
+# ---------------------------------------------------------------------------
+# Pricing defaults (Section 7.1)
+# ---------------------------------------------------------------------------
+
+#: Rental price of the reference VM type (t2.medium analogue), cents/second.
+DEFAULT_RUNNING_COST = units.dollars_per_hour(0.052)
+
+#: Start-up fee of the reference VM type, in cents ($0.0008).
+DEFAULT_STARTUP_COST = units.dollars(0.0008)
+
+#: Penalty accrued per second of SLA violation, in cents (1 cent / second).
+DEFAULT_PENALTY_RATE = 1.0
+
+# ---------------------------------------------------------------------------
+# Performance-goal defaults (Section 7.1)
+# ---------------------------------------------------------------------------
+
+#: Max-latency goal: 15 minutes (2.5x the longest template's latency).
+DEFAULT_MAX_LATENCY_DEADLINE = units.minutes(15)
+
+#: Per-query goal: deadline = 3x the template's expected latency.
+DEFAULT_PER_QUERY_FACTOR = 3.0
+
+#: Average-latency goal: 10 minutes (2.5x the average template latency).
+DEFAULT_AVERAGE_DEADLINE = units.minutes(10)
+
+#: Percentile goal: 90% of queries must finish within 10 minutes.
+DEFAULT_PERCENTILE = 90.0
+DEFAULT_PERCENTILE_DEADLINE = units.minutes(10)
+
+
+# ---------------------------------------------------------------------------
+# Training configuration (Section 4.2 / 7.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Knobs controlling sample-workload generation and model training.
+
+    Attributes
+    ----------
+    num_samples:
+        Number of random sample workloads (``N`` in the paper, default 3000).
+    queries_per_sample:
+        Queries per sample workload (``m`` in the paper, default 18).
+    seed:
+        Seed for the workload sampler, so training is reproducible.
+    max_expansions:
+        Upper bound on A* node expansions per sample workload.  ``None``
+        disables the bound; the default is generous enough for the paper's
+        sample sizes while protecting against pathological goals.
+    min_samples_leaf:
+        Decision-tree regularisation: minimum training examples per leaf.
+    max_depth:
+        Decision-tree regularisation: maximum tree depth.
+    """
+
+    num_samples: int = 3000
+    queries_per_sample: int = 18
+    seed: int = 0
+    max_expansions: int | None = 2_000_000
+    min_samples_leaf: int = 5
+    max_depth: int = 30
+
+    @classmethod
+    def paper(cls, seed: int = 0) -> "TrainingConfig":
+        """Paper-scale configuration (N=3000, m=18)."""
+        return cls(seed=seed)
+
+    @classmethod
+    def fast(cls, seed: int = 0) -> "TrainingConfig":
+        """Scaled-down configuration for tests and quick experiments."""
+        return cls(
+            num_samples=120,
+            queries_per_sample=8,
+            seed=seed,
+            max_expansions=200_000,
+        )
+
+    @classmethod
+    def tiny(cls, seed: int = 0) -> "TrainingConfig":
+        """Minimal configuration for unit tests that only need a valid model."""
+        return cls(
+            num_samples=30,
+            queries_per_sample=6,
+            seed=seed,
+            max_expansions=50_000,
+        )
+
+    def with_samples(self, num_samples: int) -> "TrainingConfig":
+        """Return a copy with a different number of sample workloads."""
+        return replace(self, num_samples=num_samples)
+
+    def with_queries_per_sample(self, queries_per_sample: int) -> "TrainingConfig":
+        """Return a copy with a different sample-workload size."""
+        return replace(self, queries_per_sample=queries_per_sample)
+
+    def with_seed(self, seed: int) -> "TrainingConfig":
+        """Return a copy with a different sampling seed."""
+        return replace(self, seed=seed)

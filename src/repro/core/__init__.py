@@ -1,0 +1,16 @@
+"""Core abstractions: schedules, outcomes, the cost model, and the advisor facade."""
+
+from repro.core.advisor import WiSeDBAdvisor
+from repro.core.cost_model import CostBreakdown, CostModel, schedule_cost
+from repro.core.outcome import QueryOutcome
+from repro.core.schedule import Schedule, VMAssignment
+
+__all__ = [
+    "CostBreakdown",
+    "CostModel",
+    "QueryOutcome",
+    "Schedule",
+    "VMAssignment",
+    "WiSeDBAdvisor",
+    "schedule_cost",
+]

@@ -1,0 +1,156 @@
+"""The WiSeDB advisor facade.
+
+:class:`WiSeDBAdvisor` ties the pieces of Figure 1 together behind one object:
+
+* **Model Generator** — ``train(goal)`` learns a decision model for the
+  application's workload specification and performance goal;
+* **Strategy Recommendation** — ``recommend_strategies(k)`` derives alternative
+  models for stricter/looser goals and prunes them to ``k`` distinct
+  performance/cost trade-offs, each with a cost-estimation function;
+* **Schedule Generator** — ``schedule_batch(workload)`` turns an incoming batch
+  into a concrete schedule (VMs to rent, query placement, execution order), and
+  ``online_scheduler()`` returns a scheduler for queries arriving one at a time;
+* cost accounting — ``evaluate(schedule)`` prices any schedule with Equation 1.
+
+The facade is a convenience layer: every capability is also available through
+the underlying packages for callers that need finer control.
+"""
+
+from __future__ import annotations
+
+from repro.adaptive.recommendation import Strategy, StrategyRecommender
+from repro.adaptive.retraining import AdaptiveModeler, AdaptiveRetrainingReport
+from repro.cloud.latency import LatencyModel, TemplateLatencyModel
+from repro.cloud.vm import VMTypeCatalog, single_vm_type_catalog
+from repro.config import TrainingConfig
+from repro.core.cost_model import CostBreakdown, CostModel
+from repro.core.schedule import Schedule
+from repro.exceptions import TrainingError
+from repro.learning.model import DecisionModel
+from repro.learning.trainer import ModelGenerator, TrainingResult
+from repro.runtime.batch import BatchScheduler
+from repro.runtime.estimator import CostEstimator, per_template_cost_profile
+from repro.runtime.online import OnlineOptimizations, OnlineScheduler
+from repro.sla.base import PerformanceGoal
+from repro.workloads.templates import TemplateSet
+from repro.workloads.workload import Workload
+
+
+class WiSeDBAdvisor:
+    """End-to-end workload management advisor for one application."""
+
+    def __init__(
+        self,
+        templates: TemplateSet,
+        vm_types: VMTypeCatalog | None = None,
+        latency_model: LatencyModel | None = None,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        self._templates = templates
+        self._vm_types = vm_types or single_vm_type_catalog()
+        self._latency_model = latency_model or TemplateLatencyModel(templates)
+        self._config = config or TrainingConfig.fast()
+        self._generator = ModelGenerator(
+            templates=templates,
+            vm_types=self._vm_types,
+            latency_model=self._latency_model,
+            config=self._config,
+        )
+        self._cost_model = CostModel(self._latency_model)
+        self._training: TrainingResult | None = None
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def templates(self) -> TemplateSet:
+        """The application's workload specification."""
+        return self._templates
+
+    @property
+    def vm_types(self) -> VMTypeCatalog:
+        """The IaaS VM catalogue available to the application."""
+        return self._vm_types
+
+    @property
+    def generator(self) -> ModelGenerator:
+        """The underlying model generator (exposed for advanced use)."""
+        return self._generator
+
+    @property
+    def training(self) -> TrainingResult:
+        """The most recent training result (raises until :meth:`train` is called)."""
+        if self._training is None:
+            raise TrainingError("the advisor has not been trained yet; call train()")
+        return self._training
+
+    @property
+    def model(self) -> DecisionModel:
+        """The most recently trained decision model."""
+        return self.training.model
+
+    # -- training and adaptation --------------------------------------------------------
+
+    def train(self, goal: PerformanceGoal) -> TrainingResult:
+        """Train (offline) a decision model for *goal* and keep it as current."""
+        self._training = self._generator.generate(goal)
+        return self._training
+
+    def adapt(self, new_goal: PerformanceGoal) -> tuple[TrainingResult, AdaptiveRetrainingReport]:
+        """Derive a model for a shifted goal by re-using the current training set."""
+        modeler = AdaptiveModeler(self._generator, self.training)
+        return modeler.retrain(new_goal)
+
+    def recommend_strategies(
+        self,
+        k: int = 3,
+        num_candidates: int = 7,
+        max_shift: float = 0.5,
+    ) -> list[Strategy]:
+        """Recommend ``k`` strategies with distinct performance/cost trade-offs."""
+        recommender = StrategyRecommender(
+            self._generator,
+            self.training,
+            num_candidates=num_candidates,
+            max_shift=max_shift,
+        )
+        return recommender.recommend(k)
+
+    # -- runtime ----------------------------------------------------------------------------
+
+    def schedule_batch(
+        self, workload: Workload, model: DecisionModel | None = None
+    ) -> Schedule:
+        """Schedule an incoming batch with the current (or a provided) model."""
+        scheduler = BatchScheduler(model or self.model)
+        return scheduler.schedule(workload)
+
+    def online_scheduler(
+        self,
+        optimizations: OnlineOptimizations | None = None,
+        wait_resolution: float = 30.0,
+    ) -> OnlineScheduler:
+        """An online scheduler backed by the current model."""
+        return OnlineScheduler(
+            base_training=self.training,
+            generator=self._generator,
+            optimizations=optimizations,
+            wait_resolution=wait_resolution,
+        )
+
+    # -- cost accounting -----------------------------------------------------------------------
+
+    def evaluate(
+        self, schedule: Schedule, goal: PerformanceGoal | None = None
+    ) -> CostBreakdown:
+        """Price a schedule with Equation 1 under the given (or trained) goal."""
+        return self._cost_model.breakdown(schedule, goal or self.model.goal)
+
+    def cost_estimator(self, calibration_workload: Workload | None = None) -> CostEstimator:
+        """A per-template cost estimator calibrated from the current model."""
+        if calibration_workload is None:
+            from repro.workloads.generator import WorkloadGenerator
+
+            calibration_workload = WorkloadGenerator(self._templates, seed=23).uniform(100)
+        schedule = self.schedule_batch(calibration_workload)
+        profile = per_template_cost_profile(schedule, self.model.goal, self._latency_model)
+        return CostEstimator(self._templates, profile)

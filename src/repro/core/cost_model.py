@@ -1,0 +1,105 @@
+"""The monetary cost model of Equation 1.
+
+The total cost of executing a workload under schedule ``S`` and performance
+goal ``R`` is::
+
+    cost(R, S) = sum over VMs [ f_s  +  f_r * (sum of query latencies on the VM) ]
+                 + p(R, S)
+
+i.e. provisioning fees, plus rental fees for the time the VM spends executing
+its queue, plus the SLA penalty for whatever violations the schedule incurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.latency import LatencyModel
+from repro.cloud.simulator import ScheduleSimulator
+from repro.core.schedule import Schedule
+from repro.sla.base import PerformanceGoal
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The three components of Equation 1, in cents."""
+
+    startup_cost: float
+    execution_cost: float
+    penalty_cost: float
+
+    @property
+    def total(self) -> float:
+        """Total monetary cost ``cost(R, S)`` in cents."""
+        return self.startup_cost + self.execution_cost + self.penalty_cost
+
+    @property
+    def infrastructure_cost(self) -> float:
+        """Provisioning plus rental cost, excluding penalties."""
+        return self.startup_cost + self.execution_cost
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            startup_cost=self.startup_cost + other.startup_cost,
+            execution_cost=self.execution_cost + other.execution_cost,
+            penalty_cost=self.penalty_cost + other.penalty_cost,
+        )
+
+    @classmethod
+    def zero(cls) -> "CostBreakdown":
+        """A breakdown with every component equal to zero."""
+        return cls(0.0, 0.0, 0.0)
+
+
+class CostModel:
+    """Evaluates Equation 1 for schedules under a given latency model."""
+
+    def __init__(self, latency_model: LatencyModel) -> None:
+        self._latency_model = latency_model
+        self._simulator = ScheduleSimulator(latency_model)
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The latency model used for both rental billing and SLA evaluation."""
+        return self._latency_model
+
+    def breakdown(
+        self,
+        schedule: Schedule,
+        goal: PerformanceGoal,
+        provision_time: float = 0.0,
+    ) -> CostBreakdown:
+        """Full cost breakdown of *schedule* under *goal*."""
+        trace = self._simulator.run(schedule, provision_time=provision_time)
+        startup = sum(vm.vm_type.startup_cost for vm in schedule)
+        execution = 0.0
+        for vm_index, vm in enumerate(schedule):
+            busy = sum(
+                outcome.execution_time for outcome in trace.outcomes_for_vm(vm_index)
+            )
+            execution += vm.vm_type.running_cost * busy
+        penalty = goal.penalty(trace.outcomes)
+        return CostBreakdown(
+            startup_cost=startup, execution_cost=execution, penalty_cost=penalty
+        )
+
+    def total_cost(
+        self,
+        schedule: Schedule,
+        goal: PerformanceGoal,
+        provision_time: float = 0.0,
+    ) -> float:
+        """Total cost ``cost(R, S)`` of *schedule* under *goal*, in cents."""
+        return self.breakdown(schedule, goal, provision_time=provision_time).total
+
+
+def schedule_cost(
+    schedule: Schedule,
+    goal: PerformanceGoal,
+    latency_model: LatencyModel,
+    provision_time: float = 0.0,
+) -> CostBreakdown:
+    """One-shot convenience wrapper around :class:`CostModel`."""
+    return CostModel(latency_model).breakdown(
+        schedule, goal, provision_time=provision_time
+    )

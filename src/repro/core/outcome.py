@@ -1,0 +1,67 @@
+"""Execution outcomes: what actually happened to each query.
+
+The SLA machinery (violation periods, penalties) and the cost model both
+operate on *outcomes* — per-query completion information produced either by
+the cloud simulator (for full schedules) or analytically by the scheduling
+graph (for partial schedules during search).  Keeping this type free of any
+cloud/SLA dependencies lets both packages share it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """The observed execution of a single query.
+
+    Attributes
+    ----------
+    query_id:
+        Identifier of the query (0 for synthetic outcomes built during search).
+    template_name:
+        Template the query belongs to (as far as the scheduler knows).
+    vm_index:
+        Index of the VM in the schedule that executed the query.
+    vm_type_name:
+        Name of that VM's type.
+    arrival_time:
+        When the query was submitted (0.0 for batch workloads).
+    start_time:
+        When the query began executing on its VM.
+    completion_time:
+        When the query finished executing.
+    execution_time:
+        Pure processing time on the VM (completion − start).
+    """
+
+    query_id: int
+    template_name: str
+    vm_index: int
+    vm_type_name: str
+    arrival_time: float
+    start_time: float
+    completion_time: float
+    execution_time: float
+
+    @property
+    def latency(self) -> float:
+        """Observed latency: completion time minus arrival time.
+
+        For batch workloads (arrival at t=0) this includes the time spent
+        waiting behind other queries on the same VM, which is exactly the
+        quantity the paper's performance goals constrain.
+        """
+        return self.completion_time - self.arrival_time
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent queued before execution started."""
+        return self.start_time - self.arrival_time
+
+    def __post_init__(self) -> None:
+        if self.completion_time < self.start_time:
+            raise ValueError("completion_time must not precede start_time")
+        if self.start_time < self.arrival_time:
+            raise ValueError("start_time must not precede arrival_time")

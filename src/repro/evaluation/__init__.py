@@ -1,0 +1,41 @@
+"""Experiment harness and metrics used by the benchmark suite (Section 7)."""
+
+from repro.evaluation.harness import (
+    CostComparison,
+    ExperimentEnvironment,
+    average_percent_above_optimal,
+    build_environment,
+    build_environments,
+    compare_to_heuristics,
+    compare_to_optimal,
+    format_table,
+    measure_training_time,
+    skewed_workloads,
+    uniform_workloads,
+)
+from repro.evaluation.metrics import (
+    geometric_mean,
+    mean,
+    percent_above,
+    spread,
+    standard_deviation,
+)
+
+__all__ = [
+    "CostComparison",
+    "ExperimentEnvironment",
+    "average_percent_above_optimal",
+    "build_environment",
+    "build_environments",
+    "compare_to_heuristics",
+    "compare_to_optimal",
+    "format_table",
+    "geometric_mean",
+    "mean",
+    "measure_training_time",
+    "percent_above",
+    "skewed_workloads",
+    "spread",
+    "standard_deviation",
+    "uniform_workloads",
+]

@@ -1,0 +1,43 @@
+"""Small numeric helpers shared by the evaluation harness and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def percent_above(value: float, reference: float) -> float:
+    """How many percent *value* exceeds *reference* (0 when reference is 0)."""
+    if reference <= 0:
+        return 0.0
+    return (value - reference) / reference * 100.0
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (NaN for an empty sequence)."""
+    if not values:
+        return math.nan
+    return sum(values) / len(values)
+
+
+def spread(values: Sequence[float]) -> float:
+    """Range (max - min) of the values (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    return max(values) - min(values)
+
+
+def standard_deviation(values: Sequence[float]) -> float:
+    """Population standard deviation (0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (NaN if any value is non-positive)."""
+    values = list(values)
+    if not values or any(v <= 0 for v in values):
+        return math.nan
+    return math.exp(sum(math.log(v) for v in values) / len(values))

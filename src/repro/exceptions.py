@@ -1,0 +1,73 @@
+"""Exception hierarchy for the WiSeDB reproduction.
+
+All exceptions raised by :mod:`repro` derive from :class:`WiSeDBError` so that
+callers can catch library failures without masking programming errors such as
+``TypeError`` or ``KeyError`` raised by misuse of the standard library.
+"""
+
+from __future__ import annotations
+
+
+class WiSeDBError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SpecificationError(WiSeDBError):
+    """A workload specification (templates, VM types, goals) is invalid."""
+
+
+class UnknownTemplateError(SpecificationError):
+    """A query references a template that is not part of the specification."""
+
+    def __init__(self, template_name: str) -> None:
+        super().__init__(f"unknown query template: {template_name!r}")
+        self.template_name = template_name
+
+
+class UnknownVMTypeError(SpecificationError):
+    """A schedule or action references a VM type that is not provisioned."""
+
+    def __init__(self, vm_type_name: str) -> None:
+        super().__init__(f"unknown VM type: {vm_type_name!r}")
+        self.vm_type_name = vm_type_name
+
+
+class UnsupportedQueryError(WiSeDBError):
+    """A query was placed on a VM type that cannot process its template."""
+
+    def __init__(self, template_name: str, vm_type_name: str) -> None:
+        super().__init__(
+            f"template {template_name!r} cannot run on VM type {vm_type_name!r}"
+        )
+        self.template_name = template_name
+        self.vm_type_name = vm_type_name
+
+
+class ScheduleError(WiSeDBError):
+    """A schedule is malformed (e.g. incomplete, duplicate assignments)."""
+
+
+class SearchError(WiSeDBError):
+    """The optimal-schedule search failed to produce a complete schedule."""
+
+
+class SearchBudgetExceeded(SearchError):
+    """The search exceeded its node-expansion budget before reaching a goal."""
+
+    def __init__(self, expansions: int) -> None:
+        super().__init__(
+            f"A* search exceeded its expansion budget ({expansions} nodes expanded)"
+        )
+        self.expansions = expansions
+
+
+class TrainingError(WiSeDBError):
+    """Model training failed (e.g. empty training set, degenerate labels)."""
+
+
+class ModelError(WiSeDBError):
+    """A decision model produced an unusable action and no fallback applied."""
+
+
+class GoalError(WiSeDBError):
+    """A performance goal is invalid or an unsupported operation was requested."""

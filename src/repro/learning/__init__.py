@@ -1,0 +1,32 @@
+"""Supervised learning of workload-management strategies (Section 4)."""
+
+from repro.learning.dataset import TrainingExample, TrainingSet
+from repro.learning.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.learning.features import FEATURE_FAMILIES, FeatureExtractor, INFEASIBLE_COST
+from repro.learning.model import DecisionModel, DecisionStats, ModelMetadata
+from repro.learning.sampling import training_workloads, workload_counts
+from repro.learning.trainer import (
+    ModelGenerator,
+    SampleSolution,
+    TrainingResult,
+    collect_examples,
+)
+
+__all__ = [
+    "FEATURE_FAMILIES",
+    "INFEASIBLE_COST",
+    "DecisionModel",
+    "DecisionStats",
+    "DecisionTreeClassifier",
+    "FeatureExtractor",
+    "ModelGenerator",
+    "ModelMetadata",
+    "SampleSolution",
+    "TrainingExample",
+    "TrainingResult",
+    "TrainingSet",
+    "TreeNode",
+    "collect_examples",
+    "training_workloads",
+    "workload_counts",
+]

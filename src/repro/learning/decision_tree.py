@@ -1,0 +1,331 @@
+"""A from-scratch C4.5-style decision-tree classifier.
+
+The paper trains its workload-management models with Weka's J48 learner, which
+implements C4.5: greedy top-down induction with binary splits on numeric
+attributes chosen by information gain ratio.  This module provides an
+equivalent learner with no third-party ML dependency so the reproduction is
+self-contained (scikit-learn is deliberately not required).
+
+The learner handles exactly what the WiSeDB feature set needs:
+
+* numeric (and 0/1 boolean) features with binary ``<= threshold`` splits;
+* multi-class string labels (one class per template-placement or
+  VM-provisioning action);
+* simple regularisation (max depth, minimum leaf size, minimum gain) so the
+  trees stay shallow — the paper reports heights below 30, which is what makes
+  model-guided scheduling O(h·n).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+#: Maximum number of candidate thresholds evaluated per feature per node.
+_MAX_THRESHOLDS = 128
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted decision tree."""
+
+    #: Number of training examples that reached this node.
+    samples: int
+    #: Per-label counts of those examples.
+    class_counts: dict[str, int]
+    #: Majority label at this node (used by leaves and as a fallback).
+    label: str
+    #: Split definition for internal nodes (``None`` for leaves).
+    feature_index: int | None = None
+    feature_name: str | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = field(default=None, repr=False)
+    right: "TreeNode | None" = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no split."""
+        return self.feature_index is None
+
+
+def _entropy(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a vector of class counts."""
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log2(probabilities)).sum())
+
+
+class DecisionTreeClassifier:
+    """C4.5-style classifier over numeric features and string labels."""
+
+    def __init__(
+        self,
+        max_depth: int = 30,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+        min_gain: float = 1e-9,
+    ) -> None:
+        if max_depth < 1:
+            raise TrainingError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise TrainingError("min_samples_leaf must be >= 1")
+        self._max_depth = max_depth
+        self._min_samples_leaf = min_samples_leaf
+        self._min_samples_split = max(min_samples_split, 2 * min_samples_leaf)
+        self._min_gain = min_gain
+        self._root: TreeNode | None = None
+        self._feature_names: tuple[str, ...] = ()
+        self._classes: tuple[str, ...] = ()
+
+    # -- fitting ------------------------------------------------------------------
+
+    def fit(
+        self,
+        matrix: np.ndarray,
+        labels: Sequence[str],
+        feature_names: Sequence[str],
+    ) -> "DecisionTreeClassifier":
+        """Fit the tree on a (n_examples, n_features) matrix and string labels."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise TrainingError("feature matrix must be two-dimensional")
+        if matrix.shape[0] == 0:
+            raise TrainingError("cannot fit a decision tree on an empty training set")
+        if matrix.shape[0] != len(labels):
+            raise TrainingError("feature matrix and labels disagree on example count")
+        if matrix.shape[1] != len(feature_names):
+            raise TrainingError("feature matrix and feature_names disagree on width")
+
+        self._feature_names = tuple(feature_names)
+        self._classes = tuple(sorted(set(labels)))
+        class_index = {label: i for i, label in enumerate(self._classes)}
+        encoded = np.asarray([class_index[label] for label in labels], dtype=int)
+        self._root = self._build(matrix, encoded, depth=0)
+        return self
+
+    def _build(self, matrix: np.ndarray, encoded: np.ndarray, depth: int) -> TreeNode:
+        counts = np.bincount(encoded, minlength=len(self._classes))
+        node = TreeNode(
+            samples=int(encoded.size),
+            class_counts={
+                self._classes[i]: int(count) for i, count in enumerate(counts) if count
+            },
+            label=self._classes[int(np.argmax(counts))],
+        )
+        if (
+            depth >= self._max_depth
+            or encoded.size < self._min_samples_split
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+
+        split = self._best_split(matrix, encoded, counts)
+        if split is None:
+            return node
+
+        feature_index, threshold = split
+        mask = matrix[:, feature_index] <= threshold
+        node.feature_index = feature_index
+        node.feature_name = self._feature_names[feature_index]
+        node.threshold = threshold
+        node.left = self._build(matrix[mask], encoded[mask], depth + 1)
+        node.right = self._build(matrix[~mask], encoded[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, matrix: np.ndarray, encoded: np.ndarray, counts: np.ndarray
+    ) -> tuple[int, float] | None:
+        parent_entropy = _entropy(counts.astype(float))
+        if parent_entropy <= 0.0:
+            return None
+        total = encoded.size
+        n_classes = len(self._classes)
+        best: tuple[float, float, int, float] | None = None  # (gain_ratio, gain, feat, thr)
+
+        for feature_index in range(matrix.shape[1]):
+            column = matrix[:, feature_index]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            sorted_labels = encoded[order]
+
+            # Candidate split positions: boundaries between distinct values.
+            boundaries = np.nonzero(np.diff(sorted_values) > 0)[0]
+            if boundaries.size == 0:
+                continue
+            if boundaries.size > _MAX_THRESHOLDS:
+                step = boundaries.size / _MAX_THRESHOLDS
+                picks = (np.arange(_MAX_THRESHOLDS) * step).astype(int)
+                boundaries = boundaries[picks]
+
+            one_hot = np.zeros((total, n_classes), dtype=float)
+            one_hot[np.arange(total), sorted_labels] = 1.0
+            prefix = np.cumsum(one_hot, axis=0)
+
+            for boundary in boundaries:
+                left_size = boundary + 1
+                right_size = total - left_size
+                if left_size < self._min_samples_leaf or right_size < self._min_samples_leaf:
+                    continue
+                left_counts = prefix[boundary]
+                right_counts = counts - left_counts
+                gain = parent_entropy - (
+                    left_size / total * _entropy(left_counts)
+                    + right_size / total * _entropy(right_counts)
+                )
+                if gain <= self._min_gain:
+                    continue
+                split_info = _entropy(np.asarray([left_size, right_size], dtype=float))
+                gain_ratio = gain / split_info if split_info > 0 else gain
+                threshold = (sorted_values[boundary] + sorted_values[boundary + 1]) / 2.0
+                candidate = (gain_ratio, gain, feature_index, float(threshold))
+                if best is None or candidate[:2] > best[:2]:
+                    best = candidate
+
+        if best is None:
+            return None
+        return best[2], best[3]
+
+    # -- prediction ----------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has been called."""
+        return self._root is not None
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Feature names, in the column order the tree was fitted on."""
+        return self._feature_names
+
+    @property
+    def classes(self) -> tuple[str, ...]:
+        """The distinct labels seen during fitting."""
+        return self._classes
+
+    def _require_fitted(self) -> TreeNode:
+        if self._root is None:
+            raise TrainingError("the decision tree has not been fitted")
+        return self._root
+
+    def predict_vector(self, vector: Sequence[float]) -> str:
+        """Predict the label for a feature vector in canonical column order."""
+        node = self._require_fitted()
+        while not node.is_leaf:
+            assert node.feature_index is not None and node.threshold is not None
+            if vector[node.feature_index] <= node.threshold:
+                assert node.left is not None
+                node = node.left
+            else:
+                assert node.right is not None
+                node = node.right
+        return node.label
+
+    def predict(self, features: Mapping[str, float]) -> str:
+        """Predict the label for a feature mapping (missing features read as 0)."""
+        vector = [features.get(name, 0.0) for name in self._feature_names]
+        return self.predict_vector(vector)
+
+    def decision_path(self, features: Mapping[str, float]) -> list[TreeNode]:
+        """The internal nodes and leaf visited while classifying *features*."""
+        node = self._require_fitted()
+        path = [node]
+        vector = [features.get(name, 0.0) for name in self._feature_names]
+        while not node.is_leaf:
+            assert node.feature_index is not None and node.threshold is not None
+            node = node.left if vector[node.feature_index] <= node.threshold else node.right
+            assert node is not None
+            path.append(node)
+        return path
+
+    # -- introspection ----------------------------------------------------------------
+
+    def depth(self) -> int:
+        """Height of the fitted tree (a single leaf has depth 0)."""
+
+        def _depth(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.left is not None and node.right is not None
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(self._require_fitted())
+
+    def node_count(self) -> int:
+        """Total number of nodes (internal plus leaves)."""
+
+        def _count(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left is not None and node.right is not None
+            return 1 + _count(node.left) + _count(node.right)
+
+        return _count(self._require_fitted())
+
+    def leaf_count(self) -> int:
+        """Number of leaves."""
+
+        def _count(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left is not None and node.right is not None
+            return _count(node.left) + _count(node.right)
+
+        return _count(self._require_fitted())
+
+    def feature_importances(self) -> dict[str, float]:
+        """Fraction of training examples routed through splits on each feature."""
+        root = self._require_fitted()
+        importances: Counter[str] = Counter()
+
+        def _walk(node: TreeNode) -> None:
+            if node.is_leaf:
+                return
+            assert node.feature_name is not None
+            importances[node.feature_name] += node.samples
+            assert node.left is not None and node.right is not None
+            _walk(node.left)
+            _walk(node.right)
+
+        _walk(root)
+        total = sum(importances.values())
+        if total == 0:
+            return {}
+        return {name: count / total for name, count in importances.items()}
+
+    def to_text(self) -> str:
+        """ASCII rendering of the tree (useful for debugging and the examples)."""
+        root = self._require_fitted()
+        lines: list[str] = []
+
+        def _render(node: TreeNode, indent: str) -> None:
+            if node.is_leaf:
+                lines.append(f"{indent}-> {node.label}  (n={node.samples})")
+                return
+            lines.append(f"{indent}{node.feature_name} <= {node.threshold:.3f}?")
+            assert node.left is not None and node.right is not None
+            _render(node.left, indent + "  ")
+            lines.append(f"{indent}{node.feature_name} > {node.threshold:.3f}?")
+            _render(node.right, indent + "  ")
+
+        _render(root, "")
+        return "\n".join(lines)
+
+    def accuracy(self, matrix: np.ndarray, labels: Sequence[str]) -> float:
+        """Training/holdout accuracy of the fitted tree on (matrix, labels)."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape[0] == 0:
+            return math.nan
+        correct = sum(
+            1
+            for row, label in zip(matrix, labels)
+            if self.predict_vector(row) == label
+        )
+        return correct / matrix.shape[0]

@@ -1,0 +1,150 @@
+"""Feature extraction from scheduling-graph vertices (Section 4.4).
+
+Each decision on an optimal path is described by features of the vertex at
+which the decision was taken.  The paper selects five families of features,
+all independent of the workload size (training workloads are small, runtime
+workloads are huge) and cheap to compute:
+
+* ``wait-time`` — how long a query placed on the most recent VM would wait
+  before starting (i.e. the total execution time already queued on that VM);
+* ``proportion-of-X`` — the fraction of the most recent VM's queue made up of
+  template ``X``;
+* ``supports-X`` — whether the most recent VM's type can process template ``X``;
+* ``cost-of-X`` — the weight of the placement edge for template ``X`` out of
+  this vertex (Equation 2), i.e. execution cost plus any penalty incurred;
+* ``have-X`` — whether at least one query of template ``X`` is still unassigned.
+
+The same extractor is used during training (on A* vertices) and at runtime (on
+the scheduler's current state), which guarantees that the model sees an
+identical representation in both phases.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cloud.vm import VMTypeCatalog
+from repro.search.problem import SchedulingProblem, SearchNode
+from repro.workloads.templates import TemplateSet
+
+#: Finite stand-in for "placement impossible" so decision-tree thresholds stay finite.
+INFEASIBLE_COST = 1.0e12
+
+
+def wait_time_feature() -> str:
+    """Name of the wait-time feature."""
+    return "wait_time"
+
+
+def proportion_feature(template_name: str) -> str:
+    """Name of the proportion-of-X feature for *template_name*."""
+    return f"proportion_of[{template_name}]"
+
+
+def supports_feature(template_name: str) -> str:
+    """Name of the supports-X feature for *template_name*."""
+    return f"supports[{template_name}]"
+
+
+def cost_feature(template_name: str) -> str:
+    """Name of the cost-of-X feature for *template_name*."""
+    return f"cost_of[{template_name}]"
+
+
+def have_feature(template_name: str) -> str:
+    """Name of the have-X feature for *template_name*."""
+    return f"have[{template_name}]"
+
+
+#: The feature families the extractor can produce (used by the ablation bench).
+FEATURE_FAMILIES: tuple[str, ...] = (
+    "wait_time",
+    "proportion_of",
+    "supports",
+    "cost_of",
+    "have",
+)
+
+
+class FeatureExtractor:
+    """Extracts the Section 4.4 feature vector from a search node."""
+
+    def __init__(
+        self,
+        templates: TemplateSet,
+        vm_types: VMTypeCatalog,
+        families: tuple[str, ...] = FEATURE_FAMILIES,
+    ) -> None:
+        unknown = set(families) - set(FEATURE_FAMILIES)
+        if unknown:
+            raise ValueError(f"unknown feature families: {sorted(unknown)}")
+        self._templates = templates
+        self._vm_types = vm_types
+        self._families = tuple(families)
+        self._feature_names = self._build_feature_names()
+
+    def _build_feature_names(self) -> tuple[str, ...]:
+        names: list[str] = []
+        if "wait_time" in self._families:
+            names.append(wait_time_feature())
+        for template in self._templates.names:
+            if "proportion_of" in self._families:
+                names.append(proportion_feature(template))
+            if "supports" in self._families:
+                names.append(supports_feature(template))
+            if "cost_of" in self._families:
+                names.append(cost_feature(template))
+            if "have" in self._families:
+                names.append(have_feature(template))
+        return tuple(names)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Names of the features produced, in a stable order."""
+        return self._feature_names
+
+    @property
+    def families(self) -> tuple[str, ...]:
+        """The feature families this extractor is configured to produce."""
+        return self._families
+
+    @property
+    def templates(self) -> TemplateSet:
+        """The template universe the per-template features are defined over."""
+        return self._templates
+
+    def extract(self, node: SearchNode, problem: SchedulingProblem) -> dict[str, float]:
+        """The feature vector of *node* within *problem* (name → value)."""
+        features: dict[str, float] = {}
+        last = node.state.last_vm()
+        last_queue: tuple[str, ...] = last[1] if last is not None else ()
+        queue_length = len(last_queue)
+        vm_type = self._vm_types[last[0]] if last is not None else None
+
+        if "wait_time" in self._families:
+            features[wait_time_feature()] = node.last_vm_finish
+
+        for template in self._templates.names:
+            if "proportion_of" in self._families:
+                if queue_length:
+                    proportion = last_queue.count(template) / queue_length
+                else:
+                    proportion = 0.0
+                features[proportion_feature(template)] = proportion
+            if "supports" in self._families:
+                supported = vm_type is not None and vm_type.supports(template)
+                features[supports_feature(template)] = 1.0 if supported else 0.0
+            if "cost_of" in self._families:
+                cost = problem.placement_edge_cost(node, template)
+                if cost == float("inf"):
+                    cost = INFEASIBLE_COST
+                features[cost_feature(template)] = cost
+            if "have" in self._families:
+                features[have_feature(template)] = (
+                    1.0 if node.state.has_remaining(template) else 0.0
+                )
+        return features
+
+    def vector(self, features: Mapping[str, float]) -> list[float]:
+        """Order a feature mapping into the extractor's canonical vector form."""
+        return [features[name] for name in self._feature_names]

@@ -1,0 +1,302 @@
+"""The workload-management decision model (Section 4.5).
+
+A :class:`DecisionModel` wraps a fitted decision tree together with the
+workload specification it was trained for (templates, VM types, performance
+goal and latency model).  Parsing the model repeatedly over a scheduling state
+yields a schedule: at each step the model chooses either to place a query of
+some template on the most recently provisioned VM, or to provision a new VM.
+
+The runtime scheduler re-uses the exact search machinery
+(:class:`~repro.search.problem.SchedulingProblem` /
+:class:`~repro.search.problem.SearchNode`) that training used, so the feature
+values the model sees at runtime are computed by the same code that produced
+its training set.
+
+Because the decision tree is a statistical model, it can occasionally emit an
+action that is invalid in the current state (e.g. "place a query of T3" when
+no T3 instance remains).  The model applies the paper's common-sense fallbacks
+— treat an unavailable template as the remaining template with the closest
+latency, never stack two empty VMs — and records how often it had to do so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cloud.latency import LatencyModel
+from repro.cloud.vm import VMType, VMTypeCatalog
+from repro.exceptions import ModelError
+from repro.learning.decision_tree import DecisionTreeClassifier
+from repro.learning.features import FeatureExtractor
+from repro.search.actions import Action, PlaceQuery, ProvisionVM, action_from_label
+from repro.search.problem import SchedulingProblem, SearchNode
+from repro.sla.base import PerformanceGoal
+from repro.workloads.templates import TemplateSet
+
+
+@dataclass
+class DecisionStats:
+    """Counters describing how a model has been used since the last reset."""
+
+    decisions: int = 0
+    fallbacks: int = 0
+    provision_decisions: int = 0
+    placement_decisions: int = 0
+    guard_activations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.decisions = 0
+        self.fallbacks = 0
+        self.provision_decisions = 0
+        self.placement_decisions = 0
+        self.guard_activations = 0
+
+
+@dataclass
+class ModelMetadata:
+    """Provenance of a trained model (used in reports and experiments)."""
+
+    goal_kind: str
+    num_training_samples: int = 0
+    num_training_examples: int = 0
+    training_time_seconds: float = 0.0
+    tree_depth: int = 0
+    tree_leaves: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class DecisionModel:
+    """A trained workload-management strategy."""
+
+    def __init__(
+        self,
+        tree: DecisionTreeClassifier,
+        extractor: FeatureExtractor,
+        templates: TemplateSet,
+        vm_types: VMTypeCatalog,
+        goal: PerformanceGoal,
+        latency_model: LatencyModel,
+        metadata: ModelMetadata | None = None,
+        penalty_guard: bool = True,
+    ) -> None:
+        self._tree = tree
+        self._extractor = extractor
+        self._templates = templates
+        self._vm_types = vm_types
+        self._goal = goal
+        self._latency_model = latency_model
+        self._metadata = metadata or ModelMetadata(goal_kind=goal.kind)
+        self._penalty_guard = penalty_guard
+        self.stats = DecisionStats()
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def tree(self) -> DecisionTreeClassifier:
+        """The underlying fitted decision tree."""
+        return self._tree
+
+    @property
+    def extractor(self) -> FeatureExtractor:
+        """The feature extractor used at training time (and reused at runtime)."""
+        return self._extractor
+
+    @property
+    def templates(self) -> TemplateSet:
+        """The workload specification the model was trained for."""
+        return self._templates
+
+    @property
+    def vm_types(self) -> VMTypeCatalog:
+        """The VM catalogue the model can provision from."""
+        return self._vm_types
+
+    @property
+    def goal(self) -> PerformanceGoal:
+        """The performance goal the model was trained for."""
+        return self._goal
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """Latency estimates used when the model costs candidate placements."""
+        return self._latency_model
+
+    @property
+    def metadata(self) -> ModelMetadata:
+        """Training provenance information."""
+        return self._metadata
+
+    @property
+    def penalty_guard_enabled(self) -> bool:
+        """Whether the runtime penalty guard is active (see :meth:`with_penalty_guard`)."""
+        return self._penalty_guard
+
+    def with_penalty_guard(self, enabled: bool) -> "DecisionModel":
+        """A copy of this model with the runtime penalty guard toggled.
+
+        The guard is a small cost-aware safety net on top of the learned tree:
+        when the tree asks for a placement whose marginal penalty already
+        exceeds the price of renting a fresh VM (and renting one is legal), the
+        scheduler provisions instead.  Our training corpora are orders of
+        magnitude smaller than the paper's (pure-Python A* vs. their Java
+        implementation), so rarely-visited feature-space regions are covered by
+        only a handful of examples; the guard keeps those sparse regions from
+        producing runaway penalties.  The ablation benchmark
+        ``bench_ablation_penalty_guard`` quantifies its effect.
+        """
+        return DecisionModel(
+            tree=self._tree,
+            extractor=self._extractor,
+            templates=self._templates,
+            vm_types=self._vm_types,
+            goal=self._goal,
+            latency_model=self._latency_model,
+            metadata=self._metadata,
+            penalty_guard=enabled,
+        )
+
+    def describe(self) -> str:
+        """One-line description of the model."""
+        return (
+            f"DecisionModel({self._goal.describe()}, "
+            f"{len(self._templates)} templates, {len(self._vm_types)} VM types, "
+            f"tree depth {self._metadata.tree_depth})"
+        )
+
+    # -- raw prediction ----------------------------------------------------------
+
+    def predict_label(self, features: Mapping[str, float]) -> str:
+        """The raw decision-tree label for a feature mapping."""
+        return self._tree.predict(features)
+
+    # -- validated decisions --------------------------------------------------------
+
+    def decide(self, node: SearchNode, problem: SchedulingProblem) -> Action:
+        """The model's (validated) action for the scheduling state *node*."""
+        features = self._extractor.extract(node, problem)
+        raw_label = self._tree.predict(features)
+        try:
+            action = action_from_label(raw_label)
+        except ValueError:
+            action = None
+        validated = self._validate(action, node, problem)
+        self.stats.decisions += 1
+        if action is None or validated != action:
+            self.stats.fallbacks += 1
+        if isinstance(validated, ProvisionVM):
+            self.stats.provision_decisions += 1
+        else:
+            self.stats.placement_decisions += 1
+        return validated
+
+    # -- validation and fallbacks -----------------------------------------------------
+
+    def _validate(
+        self, action: Action | None, node: SearchNode, problem: SchedulingProblem
+    ) -> Action:
+        state = node.state
+        if not state.remaining:
+            raise ModelError("the model was asked to act on a complete schedule")
+        last = state.last_vm()
+
+        if isinstance(action, ProvisionVM):
+            if last is None or last[1]:
+                # Valid spot for a new VM; fix up unknown VM types.
+                if action.vm_type_name in self._vm_types:
+                    return action
+                return ProvisionVM(self._vm_types.default.name)
+            # The last VM is still empty: provisioning again would violate the
+            # graph reduction and could loop forever, so place a query instead.
+            return self._fallback_placement(node, problem)
+
+        if isinstance(action, PlaceQuery):
+            if last is None:
+                return ProvisionVM(self._preferred_vm_type(action.template_name).name)
+            vm_type = self._vm_types[last[0]]
+            if state.has_remaining(action.template_name) and vm_type.supports(
+                action.template_name
+            ):
+                return self._apply_penalty_guard(action, node, problem)
+            fallback = self._fallback_placement(
+                node, problem, preferred=action.template_name
+            )
+            if isinstance(fallback, PlaceQuery):
+                return self._apply_penalty_guard(fallback, node, problem)
+            return fallback
+
+        # Unparseable label: place something sensible, or provision if we must.
+        if last is None:
+            return ProvisionVM(self._vm_types.default.name)
+        return self._fallback_placement(node, problem)
+
+    def _apply_penalty_guard(
+        self, action: PlaceQuery, node: SearchNode, problem: SchedulingProblem
+    ) -> Action:
+        """Swap a clearly loss-making placement for a provisioning action.
+
+        When the marginal penalty of the requested placement already exceeds
+        the start-up fee of a fresh VM able to run the query — and provisioning
+        is legal at this vertex — renting the VM is always the cheaper move.
+        The guard compensates for feature-space regions that the (scaled-down)
+        training corpus covers only sparsely; it can be disabled via
+        :meth:`with_penalty_guard` and is ablated in the benchmark suite.
+        """
+        if not self._penalty_guard:
+            return action
+        last = node.state.last_vm()
+        if last is None or not last[1]:
+            # Provisioning is not allowed on top of an empty VM; keep placing.
+            return action
+        vm_type = self._vm_types[last[0]]
+        execution_cost = vm_type.running_cost * self._latency_model.latency(
+            action.template_name, vm_type
+        )
+        penalty_part = problem.placement_edge_cost(node, action.template_name) - execution_cost
+        replacement_vm = self._preferred_vm_type(action.template_name)
+        if penalty_part > replacement_vm.startup_cost:
+            self.stats.guard_activations += 1
+            return ProvisionVM(replacement_vm.name)
+        return action
+
+    def _fallback_placement(
+        self,
+        node: SearchNode,
+        problem: SchedulingProblem,
+        preferred: str | None = None,
+    ) -> Action:
+        """Best substitute placement when the predicted action is unavailable."""
+        state = node.state
+        last = state.last_vm()
+        assert last is not None
+        vm_type = self._vm_types[last[0]]
+        candidates = [
+            name for name in state.remaining_templates() if vm_type.supports(name)
+        ]
+        if not candidates:
+            # Nothing placeable on the current VM: provision one that can help.
+            remaining = state.remaining_templates()
+            return ProvisionVM(self._preferred_vm_type(remaining[0]).name)
+        if preferred is not None and preferred in self._templates:
+            target_latency = self._templates[preferred].base_latency
+            chosen = min(
+                candidates,
+                key=lambda name: abs(self._templates[name].base_latency - target_latency),
+            )
+            return PlaceQuery(chosen)
+        # Otherwise pick the candidate whose placement-edge cost is lowest.
+        chosen = min(candidates, key=lambda name: problem.placement_edge_cost(node, name))
+        return PlaceQuery(chosen)
+
+    def _preferred_vm_type(self, template_name: str) -> VMType:
+        """Cheapest VM type (by execution cost) able to process *template_name*."""
+        supporting = self._vm_types.supporting(template_name)
+        if not supporting:
+            raise ModelError(
+                f"no VM type in the catalogue supports template {template_name!r}"
+            )
+        return min(
+            supporting,
+            key=lambda vm: vm.running_cost * self._latency_model.latency(template_name, vm),
+        )

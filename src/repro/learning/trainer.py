@@ -1,0 +1,253 @@
+"""The model-generation pipeline of Figure 4.
+
+Given a workload specification (templates + VM catalogue) and a performance
+goal, :class:`ModelGenerator` executes the paper's offline training loop:
+
+1. draw ``N`` random sample workloads of ``m`` queries (Section 4.2);
+2. find the minimum-cost schedule of each sample with A* over the scheduling
+   graph (Section 4.3);
+3. convert every decision on every optimal path into a labelled training
+   example (Section 4.4);
+4. fit a C4.5-style decision tree on the combined training set (Section 4.5).
+
+The returned :class:`TrainingResult` keeps the training set and the per-sample
+solutions so that the adaptive-modeling machinery (Section 5) can re-derive
+models for stricter goals without re-generating workloads or re-searching from
+scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.cloud.latency import LatencyModel, TemplateLatencyModel
+from repro.cloud.vm import VMTypeCatalog, single_vm_type_catalog
+from repro.config import TrainingConfig
+from repro.exceptions import SearchBudgetExceeded, TrainingError
+from repro.learning.dataset import TrainingExample, TrainingSet
+from repro.learning.decision_tree import DecisionTreeClassifier
+from repro.learning.features import FEATURE_FAMILIES, FeatureExtractor
+from repro.learning.model import DecisionModel, ModelMetadata
+from repro.learning.sampling import training_workloads
+from repro.search.astar import SearchResult, astar_search
+from repro.search.problem import SchedulingProblem, SearchNode
+from repro.sla.base import PerformanceGoal
+from repro.workloads.templates import TemplateSet
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class SampleSolution:
+    """The optimal solution of one training sample (kept for adaptive reuse)."""
+
+    template_counts: dict[str, int]
+    optimal_cost: float
+    expansions: int
+
+
+@dataclass
+class TrainingResult:
+    """Everything produced by one training run."""
+
+    model: DecisionModel
+    training_set: TrainingSet
+    samples: list[SampleSolution]
+    goal: PerformanceGoal
+    config: TrainingConfig
+    training_time: float
+    search_time: float
+    fit_time: float
+    skipped_samples: int = 0
+    workloads: list[Workload] = field(default_factory=list)
+
+    @property
+    def num_examples(self) -> int:
+        """Number of labelled decisions in the training set."""
+        return len(self.training_set)
+
+
+def collect_examples(
+    problem: SchedulingProblem,
+    extractor: FeatureExtractor,
+    max_expansions: int | None = None,
+    extra_lower_bound: Callable[[SearchNode], float] | None = None,
+) -> tuple[list[TrainingExample], SearchResult]:
+    """Solve *problem* optimally and label every decision on the optimal path."""
+    result = astar_search(
+        problem, max_expansions=max_expansions, extra_lower_bound=extra_lower_bound
+    )
+    examples = [
+        TrainingExample(features=extractor.extract(node, problem), label=action.label)
+        for node, action in result.decisions()
+    ]
+    return examples, result
+
+
+class ModelGenerator:
+    """Trains WiSeDB decision models for a fixed workload specification."""
+
+    def __init__(
+        self,
+        templates: TemplateSet,
+        vm_types: VMTypeCatalog | None = None,
+        latency_model: LatencyModel | None = None,
+        config: TrainingConfig | None = None,
+        feature_families: tuple[str, ...] = FEATURE_FAMILIES,
+    ) -> None:
+        self._templates = templates
+        self._vm_types = vm_types or single_vm_type_catalog()
+        self._latency_model = latency_model or TemplateLatencyModel(templates)
+        self._config = config or TrainingConfig.fast()
+        self._extractor = FeatureExtractor(templates, self._vm_types, feature_families)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def templates(self) -> TemplateSet:
+        """The workload specification models are trained for."""
+        return self._templates
+
+    @property
+    def vm_types(self) -> VMTypeCatalog:
+        """The VM catalogue models may provision from."""
+        return self._vm_types
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The latency estimates used to cost schedules during training."""
+        return self._latency_model
+
+    @property
+    def config(self) -> TrainingConfig:
+        """The training configuration (sample counts, tree regularisation)."""
+        return self._config
+
+    @property
+    def extractor(self) -> FeatureExtractor:
+        """The feature extractor shared by training and runtime."""
+        return self._extractor
+
+    # -- training -------------------------------------------------------------------
+
+    def generate(
+        self,
+        goal: PerformanceGoal,
+        workloads: Sequence[Workload] | None = None,
+    ) -> TrainingResult:
+        """Train a decision model for *goal*.
+
+        Parameters
+        ----------
+        goal:
+            The performance goal the model should optimise for.
+        workloads:
+            Optional pre-generated sample workloads.  When omitted, the
+            generator draws them according to its training configuration.
+            Passing the same workloads to several ``generate`` calls is how the
+            adaptive/alternative-strategy machinery re-uses one training corpus.
+        """
+        start_time = time.perf_counter()
+        if workloads is None:
+            workloads = training_workloads(self._templates, self._config)
+        else:
+            workloads = list(workloads)
+        if not workloads:
+            raise TrainingError("training requires at least one sample workload")
+
+        training_set = TrainingSet(self._extractor.feature_names)
+        samples: list[SampleSolution] = []
+        skipped = 0
+        search_start = time.perf_counter()
+        for workload in workloads:
+            problem = SchedulingProblem.for_workload(
+                workload, self._vm_types, goal, self._latency_model
+            )
+            try:
+                examples, result = collect_examples(
+                    problem, self._extractor, max_expansions=self._config.max_expansions
+                )
+            except SearchBudgetExceeded:
+                skipped += 1
+                continue
+            training_set.extend(examples)
+            samples.append(
+                SampleSolution(
+                    template_counts=dict(workload.template_counts()),
+                    optimal_cost=result.cost,
+                    expansions=result.expansions,
+                )
+            )
+        search_time = time.perf_counter() - search_start
+
+        if not len(training_set):
+            raise TrainingError(
+                "no training examples were collected; every sample exceeded the "
+                "search budget — relax the goal or increase max_expansions"
+            )
+
+        fit_start = time.perf_counter()
+        tree = self._fit_tree(training_set)
+        fit_time = time.perf_counter() - fit_start
+        training_time = time.perf_counter() - start_time
+
+        metadata = ModelMetadata(
+            goal_kind=goal.kind,
+            num_training_samples=len(samples),
+            num_training_examples=len(training_set),
+            training_time_seconds=training_time,
+            tree_depth=tree.depth(),
+            tree_leaves=tree.leaf_count(),
+        )
+        model = DecisionModel(
+            tree=tree,
+            extractor=self._extractor,
+            templates=self._templates,
+            vm_types=self._vm_types,
+            goal=goal,
+            latency_model=self._latency_model,
+            metadata=metadata,
+        )
+        return TrainingResult(
+            model=model,
+            training_set=training_set,
+            samples=samples,
+            goal=goal,
+            config=self._config,
+            training_time=training_time,
+            search_time=search_time,
+            fit_time=fit_time,
+            skipped_samples=skipped,
+            workloads=list(workloads),
+        )
+
+    def fit_from_training_set(
+        self, goal: PerformanceGoal, training_set: TrainingSet
+    ) -> DecisionModel:
+        """Fit a model directly from an existing training set (used by ablations)."""
+        tree = self._fit_tree(training_set)
+        metadata = ModelMetadata(
+            goal_kind=goal.kind,
+            num_training_examples=len(training_set),
+            tree_depth=tree.depth(),
+            tree_leaves=tree.leaf_count(),
+        )
+        return DecisionModel(
+            tree=tree,
+            extractor=self._extractor,
+            templates=self._templates,
+            vm_types=self._vm_types,
+            goal=goal,
+            latency_model=self._latency_model,
+            metadata=metadata,
+        )
+
+    def _fit_tree(self, training_set: TrainingSet) -> DecisionTreeClassifier:
+        matrix, labels = training_set.to_matrix()
+        tree = DecisionTreeClassifier(
+            max_depth=self._config.max_depth,
+            min_samples_leaf=self._config.min_samples_leaf,
+        )
+        feature_names = training_set.feature_names
+        return tree.fit(matrix, labels, feature_names)

@@ -1,0 +1,223 @@
+"""Batch scheduling with a trained decision model (Section 6.2).
+
+Given a decision model and an incoming batch of queries, the scheduler parses
+the model repeatedly: each parse yields either "place a query of template X on
+the most recent VM" or "provision a new VM of type Y".  The loop ends when all
+queries are assigned, so at most ``2n`` parses are needed and scheduling runs
+in ``O(h · n)`` for a tree of height ``h`` (Section 7.4 / Figure 17).
+
+Two details keep large batches fast and faithful:
+
+* feature values are produced by the same :class:`~repro.learning.features.FeatureExtractor`
+  used at training time, but the marginal-penalty part of ``cost-of-X`` is
+  computed with the incremental accumulators of :mod:`repro.sla.accumulators`
+  instead of rescanning all previously placed queries;
+* queries whose template is not part of the model's specification are treated
+  as instances of the template with the closest expected latency, exactly as
+  Section 6.2 prescribes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.cloud.vm import VMType
+from repro.core.schedule import Schedule, VMAssignment
+from repro.exceptions import ScheduleError
+from repro.learning.model import DecisionModel
+from repro.search.actions import PlaceQuery, ProvisionVM
+from repro.search.problem import SearchNode
+from repro.search.state import SearchState, freeze_counts
+from repro.workloads.query import Query
+from repro.workloads.workload import Workload
+
+
+class RuntimeSchedulingContext:
+    """Placement-cost provider compatible with :class:`SchedulingProblem`.
+
+    The decision model and the feature extractor only need one thing from the
+    "problem" object they are handed: the Equation-2 cost of placing a given
+    template on the most recent VM.  This context answers that question using
+    an incremental violation accumulator, so each call is O(1)/O(log n) instead
+    of O(#placed queries).
+    """
+
+    def __init__(self, model: DecisionModel) -> None:
+        self._vm_types = model.vm_types
+        self._goal = model.goal
+        self._latency_model = model.latency_model
+        self._accumulator = model.goal.accumulator()
+
+    def placement_edge_cost(self, node: SearchNode, template_name: str) -> float:
+        """Equation-2 edge weight for placing *template_name* at *node*."""
+        last = node.state.last_vm()
+        if last is None:
+            return float("inf")
+        vm_type = self._vm_types[last[0]]
+        if not vm_type.supports(template_name):
+            return float("inf")
+        execution_time = self._latency_model.latency(template_name, vm_type)
+        completion = node.last_vm_finish + execution_time
+        penalty_delta = self._goal.penalty_rate * (
+            self._accumulator.violation_with(template_name, completion)
+            - self._accumulator.violation()
+        )
+        return vm_type.running_cost * execution_time + penalty_delta
+
+    def record_placement(self, template_name: str, completion_time: float) -> None:
+        """Tell the context that a query of *template_name* will finish at *completion_time*."""
+        self._accumulator.add(template_name, completion_time)
+
+    @property
+    def current_violation(self) -> float:
+        """Violation period accumulated by the placements recorded so far."""
+        return self._accumulator.violation()
+
+
+@dataclass
+class BatchSchedulingResult:
+    """A batch schedule plus bookkeeping used by the online scheduler."""
+
+    schedule: Schedule
+    #: Queries the model chose to append to the pre-existing VM (online only).
+    placed_on_existing_vm: list[Query] = field(default_factory=list)
+    #: Number of model parses performed.
+    decisions: int = 0
+
+
+class BatchScheduler:
+    """Schedules batch workloads by repeatedly parsing a decision model."""
+
+    def __init__(self, model: DecisionModel) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> DecisionModel:
+        """The decision model driving this scheduler."""
+        return self._model
+
+    # -- public API --------------------------------------------------------------
+
+    def schedule(self, workload: Workload) -> Schedule:
+        """Produce a complete schedule for *workload*."""
+        return self.schedule_detailed(workload).schedule
+
+    def schedule_detailed(
+        self,
+        workload: Workload,
+        existing_vm_type: VMType | None = None,
+        existing_vm_busy_time: float = 0.0,
+    ) -> BatchSchedulingResult:
+        """Schedule *workload*, optionally continuing an already-rented VM.
+
+        The online scheduler (Section 6.3) passes the most recently provisioned
+        VM and its outstanding busy time so that new queries may be appended to
+        it — mirroring the behaviour in the paper's Figure 8 — while batch
+        callers simply omit the two arguments.
+        """
+        if workload.is_empty():
+            return BatchSchedulingResult(schedule=Schedule.empty())
+
+        pools = self._build_pools(workload)
+        remaining: Counter[str] = Counter({name: len(pool) for name, pool in pools.items()})
+        context = RuntimeSchedulingContext(self._model)
+
+        vms: list[tuple[VMType, list[Query]]] = []
+        placed_on_existing: list[Query] = []
+        if existing_vm_type is not None:
+            last_vm_type: VMType | None = existing_vm_type
+            last_templates: list[str] = []
+            last_finish = existing_vm_busy_time
+            on_existing = True
+        else:
+            last_vm_type = None
+            last_templates = []
+            last_finish = 0.0
+            on_existing = False
+
+        decisions = 0
+        latency_model = self._model.latency_model
+        max_decisions = 2 * len(workload) + len(workload) + 2
+        while sum(remaining.values()) > 0:
+            decisions += 1
+            if decisions > max_decisions:
+                raise ScheduleError(
+                    "the decision model failed to converge on a complete schedule"
+                )
+            node = self._make_node(last_vm_type, last_templates, last_finish, remaining)
+            action = self._model.decide(node, context)
+            if isinstance(action, ProvisionVM):
+                vm_type = self._model.vm_types[action.vm_type_name]
+                vms.append((vm_type, []))
+                last_vm_type = vm_type
+                last_templates = []
+                last_finish = 0.0
+                on_existing = False
+                continue
+            assert isinstance(action, PlaceQuery)
+            assert last_vm_type is not None  # model.decide provisions first otherwise
+            query = pools[action.template_name].popleft()
+            remaining[action.template_name] -= 1
+            execution_time = latency_model.latency(action.template_name, last_vm_type)
+            completion = last_finish + execution_time
+            context.record_placement(action.template_name, completion)
+            last_finish = completion
+            last_templates.append(action.template_name)
+            if on_existing:
+                placed_on_existing.append(query)
+            else:
+                vms[-1][1].append(query)
+
+        schedule = Schedule(
+            VMAssignment(vm_type, tuple(queries)) for vm_type, queries in vms
+        ).without_empty_vms()
+        return BatchSchedulingResult(
+            schedule=schedule,
+            placed_on_existing_vm=placed_on_existing,
+            decisions=decisions,
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _build_pools(self, workload: Workload) -> dict[str, deque[Query]]:
+        """Group queries by the template the model will treat them as."""
+        model_templates = self._model.templates
+        pools: dict[str, deque[Query]] = defaultdict(deque)
+        for query in workload:
+            if query.template_name in model_templates:
+                perceived = query.template_name
+            else:
+                base_latency = workload.templates[query.template_name].base_latency
+                perceived = model_templates.closest_by_latency(base_latency).name
+            pools[perceived].append(query)
+        return pools
+
+    @staticmethod
+    def _make_node(
+        last_vm_type: VMType | None,
+        last_templates: list[str],
+        last_finish: float,
+        remaining: Counter[str],
+    ) -> SearchNode:
+        """A lightweight search node describing the scheduler's current state.
+
+        Only the most recent VM is represented (the model never looks further
+        back), which keeps node construction O(size of the last VM's queue)
+        even for workloads of tens of thousands of queries.
+        """
+        if last_vm_type is None:
+            vms: tuple = ()
+        else:
+            vms = ((last_vm_type.name, tuple(last_templates)),)
+        state = SearchState(vms=vms, remaining=freeze_counts(remaining))
+        return SearchNode(
+            state=state,
+            parent=None,
+            action=None,
+            infra_cost=0.0,
+            penalty=0.0,
+            outcomes=(),
+            last_vm_finish=last_finish,
+            depth=0,
+        )

@@ -1,0 +1,398 @@
+"""Online (one-query-at-a-time) scheduling (Section 6.3).
+
+Online scheduling is treated as a sequence of small batch-scheduling tasks:
+when a query arrives, it is bundled with every previously submitted query that
+has not yet started executing, and the bundle is re-scheduled.  Queries that
+have been waiting are no longer equivalent to fresh instances of their
+template — their latency, measured from submission, already includes the wait
+— so they are treated as instances of *new* templates whose expected latency
+is the original latency plus the elapsed wait, and a model is derived for the
+augmented template set.
+
+Deriving that model is the expensive step, so the scheduler implements the two
+optimizations of Section 6.3.1:
+
+* **model reuse** — models are cached by the multiset of (template, rounded
+  wait) pairs they were derived for; arrivals that produce the same signature
+  reuse the cached model outright;
+* **linear shifting** — for linearly shiftable goals (max latency, per-query
+  deadlines), waiting ``n`` seconds is equivalent to a goal tightened by ``n``
+  seconds, so instead of training for an augmented template set the scheduler
+  adapts the original model with the Section-5 machinery, which is much
+  cheaper.  Shifted models are cached by the rounded shift amount.
+
+The scheduler keeps a full record of what ran where, so the report it returns
+contains both the economics (Equation-1 cost of the whole run) and the
+operational overheads (wall-clock scheduling time per arrival) that Figures 18
+and 19 plot.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.adaptive.retraining import AdaptiveModeler
+from repro.cloud.vm import VMType
+from repro.core.cost_model import CostBreakdown
+from repro.core.outcome import QueryOutcome
+from repro.exceptions import SpecificationError
+from repro.learning.model import DecisionModel
+from repro.learning.trainer import ModelGenerator, TrainingResult
+from repro.runtime.batch import BatchScheduler
+from repro.sla.per_query import PerQueryDeadlineGoal
+from repro.workloads.query import Query
+from repro.workloads.templates import QueryTemplate, TemplateSet
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class OnlineOptimizations:
+    """Which of the Section 6.3.1 optimizations are enabled."""
+
+    reuse: bool = True
+    shift: bool = True
+
+    @classmethod
+    def none(cls) -> "OnlineOptimizations":
+        """Retrain a fresh model at every arrival (the paper's ``None`` baseline)."""
+        return cls(reuse=False, shift=False)
+
+    @classmethod
+    def reuse_only(cls) -> "OnlineOptimizations":
+        """Only the model-reuse cache."""
+        return cls(reuse=True, shift=False)
+
+    @classmethod
+    def shift_only(cls) -> "OnlineOptimizations":
+        """Only linear shifting (applicable to linearly shiftable goals)."""
+        return cls(reuse=False, shift=True)
+
+    @classmethod
+    def all(cls) -> "OnlineOptimizations":
+        """Both optimizations (the paper's ``Shift + Reuse``)."""
+        return cls(reuse=True, shift=True)
+
+    def describe(self) -> str:
+        """The label used in Figure 19 for this combination."""
+        if self.reuse and self.shift:
+            return "Shift + Reuse"
+        if self.reuse:
+            return "Reuse"
+        if self.shift:
+            return "Shift"
+        return "None"
+
+
+@dataclass
+class ScheduledQueryRecord:
+    """Where and when one query actually executed."""
+
+    query: Query
+    template_name: str
+    vm_index: int
+    start_time: float
+    completion_time: float
+    execution_time: float
+
+
+@dataclass
+class _VMRecord:
+    """A rented VM and the queries committed to it so far."""
+
+    vm_type: VMType
+    provision_time: float
+    records: list[ScheduledQueryRecord] = field(default_factory=list)
+
+    def busy_until(self) -> float:
+        """Time at which the VM finishes everything currently committed to it."""
+        if not self.records:
+            return self.provision_time
+        return self.records[-1].completion_time
+
+    def split_started(self, now: float) -> list[ScheduledQueryRecord]:
+        """Remove and return the records that have not started executing by *now*."""
+        keep = [record for record in self.records if record.start_time <= now]
+        removed = [record for record in self.records if record.start_time > now]
+        self.records = keep
+        return removed
+
+
+@dataclass
+class OnlineSchedulingReport:
+    """The result of an online scheduling run."""
+
+    outcomes: tuple[QueryOutcome, ...]
+    cost: CostBreakdown
+    scheduling_overheads: list[float]
+    retrains: int
+    cache_hits: int
+    base_model_uses: int
+    num_vms: int
+    optimizations: OnlineOptimizations
+
+    @property
+    def total_cost(self) -> float:
+        """Total Equation-1 cost of the run, in cents."""
+        return self.cost.total
+
+    @property
+    def average_overhead(self) -> float:
+        """Mean wall-clock scheduling time per arrival, in seconds."""
+        if not self.scheduling_overheads:
+            return 0.0
+        return sum(self.scheduling_overheads) / len(self.scheduling_overheads)
+
+    @property
+    def total_overhead(self) -> float:
+        """Total wall-clock time spent scheduling, in seconds."""
+        return sum(self.scheduling_overheads)
+
+
+class OnlineScheduler:
+    """Schedules queries as they arrive, using and adapting a trained model."""
+
+    def __init__(
+        self,
+        base_training: TrainingResult,
+        generator: ModelGenerator,
+        optimizations: OnlineOptimizations | None = None,
+        wait_resolution: float = 30.0,
+    ) -> None:
+        if wait_resolution <= 0:
+            raise SpecificationError("wait_resolution must be positive")
+        self._base = base_training
+        self._generator = generator
+        self._optimizations = optimizations or OnlineOptimizations.all()
+        self._wait_resolution = wait_resolution
+        self._modeler = AdaptiveModeler(generator, base_training)
+        self._model_cache: dict[object, DecisionModel] = {}
+
+    @property
+    def optimizations(self) -> OnlineOptimizations:
+        """The optimization combination this scheduler runs with."""
+        return self._optimizations
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, workload: Workload) -> OnlineSchedulingReport:
+        """Schedule *workload*'s queries in arrival order and report the outcome."""
+        base_goal = self._base.goal
+        latency_model = self._generator.latency_model
+
+        vms: list[_VMRecord] = []
+        originals: dict[int, Query] = {}
+        overheads: list[float] = []
+        retrains = 0
+        cache_hits = 0
+        base_model_uses = 0
+
+        for query in sorted(workload, key=lambda q: (q.arrival_time, q.query_id)):
+            originals[query.query_id] = query
+            now = query.arrival_time
+            started_at = time.perf_counter()
+
+            # Pull back everything that has not started executing yet.
+            pending: list[tuple[Query, float]] = [(query, 0.0)]
+            for vm in vms:
+                for record in vm.split_started(now):
+                    waited = max(0.0, now - record.query.arrival_time)
+                    pending.append((record.query, waited))
+
+            # Choose (or derive) the model for this batch.
+            model, used_cache, used_base, trained = self._model_for_batch(pending)
+            retrains += trained
+            cache_hits += used_cache
+            base_model_uses += used_base
+
+            # Schedule the batch, allowing placements on the most recent VM.
+            batch_workload = self._batch_workload(model, pending)
+            last_vm = vms[-1] if vms else None
+            existing_busy = max(0.0, last_vm.busy_until() - now) if last_vm else 0.0
+            result = BatchScheduler(model).schedule_detailed(
+                batch_workload,
+                existing_vm_type=last_vm.vm_type if last_vm else None,
+                existing_vm_busy_time=existing_busy,
+            )
+
+            # Commit the decisions with true (non-augmented) execution times.
+            if last_vm is not None:
+                for placed in result.placed_on_existing_vm:
+                    self._commit(last_vm, originals[placed.query_id], now, latency_model)
+            for vm_assignment in result.schedule:
+                new_vm = _VMRecord(vm_type=vm_assignment.vm_type, provision_time=now)
+                vms.append(new_vm)
+                for placed in vm_assignment.queries:
+                    self._commit(new_vm, originals[placed.query_id], now, latency_model)
+
+            overheads.append(time.perf_counter() - started_at)
+
+        outcomes = self._outcomes(vms)
+        cost = self._total_cost(vms, outcomes, base_goal)
+        return OnlineSchedulingReport(
+            outcomes=outcomes,
+            cost=cost,
+            scheduling_overheads=overheads,
+            retrains=retrains,
+            cache_hits=cache_hits,
+            base_model_uses=base_model_uses,
+            num_vms=len(vms),
+            optimizations=self._optimizations,
+        )
+
+    # -- model selection ---------------------------------------------------------------
+
+    def _model_for_batch(
+        self, pending: list[tuple[Query, float]]
+    ) -> tuple[DecisionModel, int, int, int]:
+        """Return (model, cache_hits, base_uses, retrains) for one arrival."""
+        base_goal = self._base.goal
+        waits = {
+            query.query_id: self._round_wait(waited) for query, waited in pending
+        }
+        if all(value == 0.0 for value in waits.values()):
+            return self._base.model, 0, 1, 0
+
+        if self._optimizations.shift and base_goal.is_linearly_shiftable:
+            shift_amount = max(waits.values())
+            key = ("shift", shift_amount)
+            cached = self._model_cache.get(key)
+            if cached is not None and self._optimizations.reuse:
+                return cached, 1, 0, 0
+            shifted_goal = base_goal.shifted(shift_amount)
+            result, _ = self._modeler.retrain(shifted_goal)
+            self._model_cache[key] = result.model
+            return result.model, 0, 0, 1
+
+        # General case: augmented template set with "aged" templates.
+        signature = tuple(
+            sorted(
+                {
+                    (query.template_name, waits[query.query_id])
+                    for query, _ in pending
+                    if waits[query.query_id] > 0.0
+                }
+            )
+        )
+        key = ("augment", signature)
+        if self._optimizations.reuse:
+            cached = self._model_cache.get(key)
+            if cached is not None:
+                return cached, 1, 0, 0
+        model = self._train_augmented(signature)
+        self._model_cache[key] = model
+        return model, 0, 0, 1
+
+    def _train_augmented(
+        self, signature: tuple[tuple[str, float], ...]
+    ) -> DecisionModel:
+        """Train a fresh model whose template set includes the aged templates."""
+        base_templates = self._generator.templates
+        goal = self._base.goal
+        extra: list[QueryTemplate] = []
+        for template_name, waited in signature:
+            base = base_templates[template_name]
+            aged_name = self._aged_name(template_name, waited)
+            extra.append(QueryTemplate(name=aged_name, base_latency=base.base_latency + waited))
+            if isinstance(goal, PerQueryDeadlineGoal):
+                goal = goal.with_extra_deadline(aged_name, goal.deadline_for(template_name))
+        augmented = base_templates.extended(extra)
+        generator = ModelGenerator(
+            templates=augmented,
+            vm_types=self._generator.vm_types,
+            config=self._generator.config,
+        )
+        return generator.generate(goal).model
+
+    # -- batch construction and commitment ----------------------------------------------
+
+    def _batch_workload(
+        self,
+        model: DecisionModel,
+        pending: list[tuple[Query, float]],
+    ) -> Workload:
+        """Express the pending batch in the model's template vocabulary."""
+        batch_queries: list[Query] = []
+        for query, waited in pending:
+            rounded = self._round_wait(waited)
+            aged_name = self._aged_name(query.template_name, rounded)
+            if rounded > 0.0 and aged_name in model.templates:
+                name = aged_name
+            else:
+                name = query.template_name
+            batch_queries.append(
+                Query(template_name=name, query_id=query.query_id, arrival_time=0.0)
+            )
+        return Workload(model.templates, batch_queries)
+
+    def _commit(
+        self,
+        vm: _VMRecord,
+        query: Query,
+        now: float,
+        latency_model,
+    ) -> None:
+        """Append *query* to *vm* with its true execution time."""
+        execution_time = latency_model.latency(query.template_name, vm.vm_type)
+        start = max(vm.busy_until(), now)
+        vm.records.append(
+            ScheduledQueryRecord(
+                query=query,
+                template_name=query.template_name,
+                vm_index=0,  # rewritten when outcomes are assembled
+                start_time=start,
+                completion_time=start + execution_time,
+                execution_time=execution_time,
+            )
+        )
+
+    # -- reporting -------------------------------------------------------------------------
+
+    @staticmethod
+    def _outcomes(vms: list[_VMRecord]) -> tuple[QueryOutcome, ...]:
+        outcomes: list[QueryOutcome] = []
+        for vm_index, vm in enumerate(vms):
+            for record in vm.records:
+                outcomes.append(
+                    QueryOutcome(
+                        query_id=record.query.query_id,
+                        template_name=record.template_name,
+                        vm_index=vm_index,
+                        vm_type_name=vm.vm_type.name,
+                        arrival_time=record.query.arrival_time,
+                        start_time=record.start_time,
+                        completion_time=record.completion_time,
+                        execution_time=record.execution_time,
+                    )
+                )
+        return tuple(outcomes)
+
+    @staticmethod
+    def _total_cost(
+        vms: list[_VMRecord],
+        outcomes: tuple[QueryOutcome, ...],
+        goal,
+    ) -> CostBreakdown:
+        startup = sum(vm.vm_type.startup_cost for vm in vms)
+        execution = sum(
+            vm.vm_type.running_cost * record.execution_time
+            for vm in vms
+            for record in vm.records
+        )
+        penalty = goal.penalty(outcomes)
+        return CostBreakdown(
+            startup_cost=startup, execution_cost=execution, penalty_cost=penalty
+        )
+
+    # -- small helpers ----------------------------------------------------------------------
+
+    def _round_wait(self, waited: float) -> float:
+        """Quantise a wait time to the scheduler's resolution (Section 6.3.1)."""
+        if waited <= 0:
+            return 0.0
+        return round(waited / self._wait_resolution) * self._wait_resolution
+
+    @staticmethod
+    def _aged_name(template_name: str, waited: float) -> str:
+        """Name of the synthetic template representing an aged query."""
+        return f"{template_name}+{int(round(waited))}s"

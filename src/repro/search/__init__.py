@@ -1,0 +1,29 @@
+"""Scheduling-graph construction and A* search for optimal schedules (Section 4.3)."""
+
+from repro.search.actions import Action, PlaceQuery, ProvisionVM, action_from_label
+from repro.search.astar import SearchResult, astar_search
+from repro.search.optimal import (
+    OptimalScheduleResult,
+    find_optimal_schedule,
+    schedule_from_state,
+)
+from repro.search.problem import LatencyOutcome, SchedulingProblem, SearchNode
+from repro.search.state import SearchState, counts_from_templates, freeze_counts
+
+__all__ = [
+    "Action",
+    "LatencyOutcome",
+    "OptimalScheduleResult",
+    "PlaceQuery",
+    "ProvisionVM",
+    "SchedulingProblem",
+    "SearchNode",
+    "SearchResult",
+    "SearchState",
+    "action_from_label",
+    "astar_search",
+    "counts_from_templates",
+    "find_optimal_schedule",
+    "freeze_counts",
+    "schedule_from_state",
+]

@@ -1,0 +1,61 @@
+"""Scheduling actions: the edges of the scheduling graph.
+
+Each edge in the scheduling graph (Section 4.3) is one of two actions:
+
+* **provision** a new VM of some type (a "start-up edge"), or
+* **place** a query of some template onto the most recently provisioned VM
+  (a "placement edge").
+
+Actions are also the *labels* of the decision-tree model: the model's job at
+runtime is to choose one of these actions given the current scheduling state,
+so the total label domain has size ``|templates| + |VM types|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ProvisionVM:
+    """Rent a new, empty VM of the given type."""
+
+    vm_type_name: str
+
+    @property
+    def label(self) -> str:
+        """Canonical string label used as the decision-tree class."""
+        return f"provision:{self.vm_type_name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"new VM ({self.vm_type_name})"
+
+
+@dataclass(frozen=True)
+class PlaceQuery:
+    """Place one query of the given template onto the most recent VM."""
+
+    template_name: str
+
+    @property
+    def label(self) -> str:
+        """Canonical string label used as the decision-tree class."""
+        return f"assign:{self.template_name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"assign {self.template_name}"
+
+
+#: Either kind of scheduling action.
+Action = Union[ProvisionVM, PlaceQuery]
+
+
+def action_from_label(label: str) -> Action:
+    """Inverse of ``action.label`` (used when decoding decision-tree output)."""
+    kind, _, payload = label.partition(":")
+    if kind == "provision" and payload:
+        return ProvisionVM(payload)
+    if kind == "assign" and payload:
+        return PlaceQuery(payload)
+    raise ValueError(f"not a valid action label: {label!r}")

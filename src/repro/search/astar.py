@@ -1,0 +1,136 @@
+"""A* search over the scheduling graph (Section 4.3).
+
+The search explores :class:`~repro.search.problem.SearchNode` objects ordered
+by an admissible lower bound on the cost of the best complete schedule
+reachable through them.  Because a vertex fully determines its partial
+schedule (and therefore its cost), the first *goal* vertex popped from the
+frontier is a minimum-cost complete schedule.
+
+The implementation supports:
+
+* an optional expansion budget (the training pipeline uses it as a safety
+  valve against pathological SLAs);
+* an optional *extra lower bound* callback, which is how adaptive A*
+  (Section 5) injects the improved heuristic ``h'`` derived from a previously
+  solved instance without changing the core search.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.exceptions import SearchBudgetExceeded, SearchError
+from repro.search.actions import Action
+from repro.search.problem import SchedulingProblem, SearchNode
+from repro.search.state import SearchState
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an A* run over a scheduling graph."""
+
+    goal_node: SearchNode
+    expansions: int
+    generated: int
+
+    @property
+    def cost(self) -> float:
+        """Total cost (Equation 1) of the optimal schedule found."""
+        return self.goal_node.partial_cost
+
+    @property
+    def goal_state(self) -> SearchState:
+        """The goal vertex reached by the search."""
+        return self.goal_node.state
+
+    def path(self) -> list[SearchNode]:
+        """Nodes from the start vertex to the goal vertex, inclusive."""
+        return self.goal_node.path()
+
+    def decisions(self) -> Iterator[tuple[SearchNode, Action]]:
+        """(vertex, optimal action taken at that vertex) pairs along the path.
+
+        This is exactly the training signal of Section 4.4: each decision on
+        the optimal path is labelled with the features of its origin vertex.
+        """
+        nodes = self.path()
+        for parent, child in zip(nodes, nodes[1:]):
+            assert child.action is not None
+            yield parent, child.action
+
+
+def astar_search(
+    problem: SchedulingProblem,
+    max_expansions: int | None = None,
+    extra_lower_bound: Callable[[SearchNode], float] | None = None,
+) -> SearchResult:
+    """Find a minimum-cost complete schedule for *problem*.
+
+    Parameters
+    ----------
+    problem:
+        The scheduling problem (workload, VM catalogue, goal, latencies).
+    max_expansions:
+        Abort with :class:`SearchBudgetExceeded` after expanding this many
+        vertices.  ``None`` means unbounded.
+    extra_lower_bound:
+        Optional additional admissible bound; the node priority becomes the
+        maximum of the problem's own bound and this callback's value.  Used by
+        adaptive A* (Section 5).
+
+    Raises
+    ------
+    SearchError
+        If the graph contains no goal vertex (should not happen for valid input).
+    SearchBudgetExceeded
+        If the expansion budget is exhausted before a goal vertex is reached.
+    """
+    start = problem.initial_node()
+    if start.state.is_goal():
+        return SearchResult(goal_node=start, expansions=0, generated=1)
+
+    counter = 0
+    generated = 1
+    expansions = 0
+
+    def priority_of(node: SearchNode) -> float:
+        priority = node.priority
+        if extra_lower_bound is not None:
+            priority = max(priority, extra_lower_bound(node))
+        return priority
+
+    def frontier_key(priority: float, node: SearchNode, order: int) -> tuple:
+        # The cost landscape contains large plateaus (many partial schedules
+        # share the same lower bound), so ties are broken towards vertices with
+        # fewer unassigned queries and, within those, towards the most recently
+        # generated vertex (LIFO).  Tie-breaking never affects optimality —
+        # the first goal vertex popped still has the minimum f-value — but it
+        # turns plateau exploration into a dive towards a goal.
+        return (priority, node.state.remaining_total(), -order, node.depth)
+
+    frontier: list[tuple] = [(frontier_key(priority_of(start), start, counter), start)]
+    visited: set[SearchState] = set()
+
+    while frontier:
+        _, node = heapq.heappop(frontier)
+        if node.state in visited:
+            continue
+        visited.add(node.state)
+
+        if node.state.is_goal():
+            return SearchResult(goal_node=node, expansions=expansions, generated=generated)
+
+        expansions += 1
+        if max_expansions is not None and expansions > max_expansions:
+            raise SearchBudgetExceeded(expansions)
+
+        for child in problem.expand(node):
+            if child.state in visited:
+                continue
+            counter += 1
+            generated += 1
+            heapq.heappush(frontier, (frontier_key(priority_of(child), child, counter), child))
+
+    raise SearchError("the scheduling graph contains no reachable goal vertex")

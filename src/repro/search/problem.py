@@ -1,0 +1,441 @@
+"""The scheduling-graph search problem (Section 4.3).
+
+:class:`SchedulingProblem` encapsulates everything the A* search needs:
+
+* successor generation with the paper's two graph reductions — a new VM may
+  only be provisioned when the most recent VM is non-empty, and queries may
+  only be placed on the most recent VM;
+* incremental cost bookkeeping per search node: infrastructure cost (start-up
+  fees plus rental for executed queries), the partial schedule's SLA penalty,
+  and the wait time of the most recent VM;
+* the admissible heuristic of Equation 3 (cheapest possible execution cost of
+  the remaining queries), used when the performance goal is monotonically
+  increasing, and the corresponding lower-bound priority for non-monotonic
+  goals (infrastructure plus remaining execution, penalty ignored until a goal
+  vertex is reached — a valid lower bound because penalties are non-negative).
+
+Nodes fully determine their partial schedule, so the best goal vertex found by
+the search is the minimum-cost complete schedule regardless of the path taken
+to reach it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cloud.latency import LatencyModel
+from repro.cloud.vm import VMTypeCatalog
+from repro.exceptions import SpecificationError
+from repro.search.actions import Action, PlaceQuery, ProvisionVM
+from repro.search.state import SearchState, freeze_counts
+from repro.sla.base import PerformanceGoal
+from repro.workloads.templates import TemplateSet
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class LatencyOutcome:
+    """Lightweight per-query outcome used while searching partial schedules.
+
+    Only the two attributes the SLA classes read (``template_name`` and
+    ``latency``) are carried; building full :class:`~repro.core.outcome.QueryOutcome`
+    objects for every explored vertex would dominate the search time.
+    """
+
+    template_name: str
+    latency: float
+
+
+@dataclass
+class SearchNode:
+    """A vertex plus the incremental bookkeeping the search needs."""
+
+    state: SearchState
+    parent: "SearchNode | None"
+    action: Action | None
+    infra_cost: float
+    penalty: float
+    outcomes: tuple[LatencyOutcome, ...]
+    last_vm_finish: float
+    depth: int
+    priority: float = field(default=0.0)
+
+    @property
+    def partial_cost(self) -> float:
+        """Cost of the node's partial schedule: infrastructure plus penalty."""
+        return self.infra_cost + self.penalty
+
+    def path(self) -> list["SearchNode"]:
+        """Nodes from the start vertex to this node, inclusive."""
+        nodes: list[SearchNode] = []
+        node: SearchNode | None = self
+        while node is not None:
+            nodes.append(node)
+            node = node.parent
+        nodes.reverse()
+        return nodes
+
+
+class SchedulingProblem:
+    """Scheduling-graph construction, reduction, and cost bookkeeping."""
+
+    def __init__(
+        self,
+        template_counts: Mapping[str, int] | Counter[str],
+        templates: TemplateSet,
+        vm_types: VMTypeCatalog,
+        goal: PerformanceGoal,
+        latency_model: LatencyModel,
+    ) -> None:
+        counts = {name: count for name, count in dict(template_counts).items() if count > 0}
+        for name in counts:
+            if name not in templates:
+                raise SpecificationError(f"workload references unknown template {name!r}")
+        self._counts = counts
+        self._templates = templates
+        self._vm_types = vm_types
+        self._goal = goal
+        self._latency_model = latency_model
+        self._cheapest_execution = self._compute_cheapest_execution()
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def for_workload(
+        cls,
+        workload: Workload,
+        vm_types: VMTypeCatalog,
+        goal: PerformanceGoal,
+        latency_model: LatencyModel,
+    ) -> "SchedulingProblem":
+        """Build the problem for a concrete workload (counts its templates)."""
+        return cls(
+            template_counts=workload.template_counts(),
+            templates=workload.templates,
+            vm_types=vm_types,
+            goal=goal,
+            latency_model=latency_model,
+        )
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def templates(self) -> TemplateSet:
+        """The template universe of the workload being scheduled."""
+        return self._templates
+
+    @property
+    def vm_types(self) -> VMTypeCatalog:
+        """The IaaS catalogue available to the scheduler."""
+        return self._vm_types
+
+    @property
+    def goal(self) -> PerformanceGoal:
+        """The performance goal the schedule must satisfy."""
+        return self._goal
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The latency estimates used to cost placements."""
+        return self._latency_model
+
+    @property
+    def template_counts(self) -> dict[str, int]:
+        """Number of queries per template in the workload being scheduled."""
+        return dict(self._counts)
+
+    # -- initial node ---------------------------------------------------------------
+
+    def initial_node(self) -> SearchNode:
+        """The start vertex: nothing provisioned, everything unassigned."""
+        state = SearchState.initial(self._counts)
+        node = SearchNode(
+            state=state,
+            parent=None,
+            action=None,
+            infra_cost=0.0,
+            penalty=0.0,
+            outcomes=(),
+            last_vm_finish=0.0,
+            depth=0,
+        )
+        node.priority = self.priority(node)
+        return node
+
+    # -- successor generation (with the Section 4.3 reductions) ---------------------
+
+    def expand(self, node: SearchNode) -> list[SearchNode]:
+        """All successor nodes of *node* in the reduced scheduling graph."""
+        successors: list[SearchNode] = []
+        state = node.state
+        last = state.last_vm()
+
+        # Placement edges: only onto the most recently provisioned VM.
+        if last is not None:
+            vm_type = self._vm_types[last[0]]
+            for template_name in state.remaining_templates():
+                if not vm_type.supports(template_name):
+                    continue
+                if not self._placement_respects_ordering(node, template_name):
+                    continue
+                successors.append(self._place(node, template_name))
+
+        # Start-up edges: only when the last VM is non-empty (or none exists),
+        # and only if there is still work to assign.
+        if state.remaining and not state.last_vm_is_empty():
+            for vm_type in self._vm_types:
+                successors.append(self._provision(node, vm_type.name))
+        return successors
+
+    def _placement_respects_ordering(self, node: SearchNode, template_name: str) -> bool:
+        """Third graph reduction: dominance pruning of redundant queue orders.
+
+        Two complementary rules, both of which keep at least one optimal goal
+        vertex reachable:
+
+        * **Adjacent pairwise interchange** (deadline-style goals): swapping
+          the candidate with the query most recently placed on the same VM
+          leaves every other query's completion time untouched, so if the
+          swapped order is strictly cheaper — or equally cheap but in canonical
+          (shortest-first) order — the current order is dominated and pruned.
+        * **Order-free horizon** (all goals): while the VM's busy time stays
+          within :meth:`PerformanceGoal.ordering_horizon`, query order cannot
+          affect the penalty at all, so only the canonical order is explored.
+        """
+        last = node.state.last_vm()
+        assert last is not None
+        queue = last[1]
+        if not queue:
+            return True
+        vm_type = self._vm_types[last[0]]
+        previous = queue[-1]
+        execution_time = self._latency_model.latency(template_name, vm_type)
+        previous_execution = self._latency_model.latency(previous, vm_type)
+        previous_key = (previous_execution, previous)
+        candidate_key = (execution_time, template_name)
+
+        previous_deadline = self._goal.query_deadline(previous)
+        candidate_deadline = self._goal.query_deadline(template_name)
+        if previous_deadline is not None and candidate_deadline is not None:
+            start = node.last_vm_finish - previous_execution
+            pair_total = previous_execution + execution_time
+            current_violation = max(0.0, node.last_vm_finish - previous_deadline) + max(
+                0.0, start + pair_total - candidate_deadline
+            )
+            swapped_violation = max(0.0, start + execution_time - candidate_deadline) + max(
+                0.0, start + pair_total - previous_deadline
+            )
+            if swapped_violation < current_violation - 1e-9:
+                return False
+            if abs(swapped_violation - current_violation) <= 1e-9:
+                return candidate_key >= previous_key
+            return True
+
+        completion = node.last_vm_finish + execution_time
+        horizon = self._goal.ordering_horizon(queue, template_name)
+        if completion > horizon:
+            return True
+        return candidate_key >= previous_key
+
+    def _provision(self, node: SearchNode, vm_type_name: str) -> SearchNode:
+        vm_type = self._vm_types[vm_type_name]
+        child = SearchNode(
+            state=node.state.with_new_vm(vm_type_name),
+            parent=node,
+            action=ProvisionVM(vm_type_name),
+            infra_cost=node.infra_cost + vm_type.startup_cost,
+            penalty=node.penalty,
+            outcomes=node.outcomes,
+            last_vm_finish=0.0,
+            depth=node.depth + 1,
+        )
+        child.priority = self.priority(child)
+        return child
+
+    def _place(self, node: SearchNode, template_name: str) -> SearchNode:
+        last = node.state.last_vm()
+        assert last is not None  # guarded by expand()
+        vm_type = self._vm_types[last[0]]
+        execution_time = self._latency_model.latency(template_name, vm_type)
+        completion = node.last_vm_finish + execution_time
+        outcomes = node.outcomes + (LatencyOutcome(template_name, completion),)
+        child = SearchNode(
+            state=node.state.with_placement(template_name),
+            parent=node,
+            action=PlaceQuery(template_name),
+            infra_cost=node.infra_cost + vm_type.running_cost * execution_time,
+            penalty=self._goal.penalty(outcomes),
+            outcomes=outcomes,
+            last_vm_finish=completion,
+            depth=node.depth + 1,
+        )
+        child.priority = self.priority(child)
+        return child
+
+    # -- edge costs (Equation 2), used by the cost-of-X feature ----------------------
+
+    def placement_edge_cost(self, node: SearchNode, template_name: str) -> float:
+        """Weight of the placement edge for *template_name* out of *node*.
+
+        Equation 2: execution time times the VM's rental rate, plus the change
+        in penalty caused by the placement.  Returns ``inf`` when the most
+        recent VM cannot process the template (or no VM exists yet).
+        """
+        last = node.state.last_vm()
+        if last is None:
+            return float("inf")
+        vm_type = self._vm_types[last[0]]
+        if not vm_type.supports(template_name):
+            return float("inf")
+        execution_time = self._latency_model.latency(template_name, vm_type)
+        completion = node.last_vm_finish + execution_time
+        outcomes = node.outcomes + (LatencyOutcome(template_name, completion),)
+        penalty_delta = self._goal.penalty(outcomes) - node.penalty
+        return vm_type.running_cost * execution_time + penalty_delta
+
+    def startup_edge_cost(self, vm_type_name: str) -> float:
+        """Weight of a start-up edge for *vm_type_name* (its provisioning fee)."""
+        return self._vm_types[vm_type_name].startup_cost
+
+    # -- heuristics and priorities ----------------------------------------------------
+
+    def _compute_cheapest_execution(self) -> dict[str, float]:
+        cheapest: dict[str, float] = {}
+        self._cheapest_time: dict[str, float] = {}
+        for name in self._counts:
+            costs = []
+            times = []
+            for vm_type in self._vm_types:
+                if not vm_type.supports(name):
+                    continue
+                latency = self._latency_model.latency(name, vm_type)
+                costs.append(vm_type.running_cost * latency)
+                times.append(latency)
+            if not costs:
+                raise SpecificationError(
+                    f"no VM type in the catalogue supports template {name!r}"
+                )
+            cheapest[name] = min(costs)
+            self._cheapest_time[name] = min(times)
+        self._min_startup_cost = min(vm.startup_cost for vm in self._vm_types)
+        self._capacity_deadline = self._penalty_free_capacity()
+        return cheapest
+
+    def _penalty_free_capacity(self) -> float | None:
+        """Largest busy time a VM can reach before the goal starts penalising.
+
+        Only defined for the deadline-style monotonic goals (max latency and
+        per-query deadlines), where any query completing after the relevant
+        deadline accrues violation time.  Used by the provisioning lower bound
+        below; ``None`` disables that bound.
+        """
+        if not self._goal.is_monotonic:
+            return None
+        deadline = getattr(self._goal, "deadline", None)
+        if deadline is None or deadline <= 0:
+            return None
+        deadlines = getattr(self._goal, "deadlines", None)
+        if deadlines:
+            relevant = [value for value in dict(deadlines).values()]
+            if relevant:
+                return max(relevant)
+        return float(deadline)
+
+    def remaining_execution_bound(self, state: SearchState) -> float:
+        """Equation 3: cheapest possible execution cost of the unassigned queries."""
+        return sum(
+            self._cheapest_execution[name] * count for name, count in state.remaining
+        )
+
+    def heuristic(self, state: SearchState) -> float:
+        """Admissible cost-to-go estimate for *state*.
+
+        For monotonically increasing goals this is Equation 3; for other goals
+        the same quantity is still a valid lower bound on the *infrastructure*
+        part of the remaining cost, so it is used as the cost-to-go term while
+        the partial penalty is excluded from the node's g-value (see
+        :meth:`priority`).
+        """
+        return self.remaining_execution_bound(state)
+
+    def provisioning_bound(self, node: SearchNode) -> float:
+        """Lower bound on the future provisioning-or-penalty cost at *node*.
+
+        For deadline-style goals every VM can absorb at most ``D`` seconds of
+        work before its queue starts violating (``D`` being the deadline, or
+        the loosest per-template deadline).  If ``W`` seconds of work remain
+        and the most recent VM has ``slack`` seconds of headroom, then any
+        completion of the schedule with ``k`` additional VMs pays at least
+        ``k`` start-up fees plus penalties for the work that does not fit:
+
+            k * f_s  +  rate * max(0, W - slack - k * D)
+
+        Minimising over ``k`` gives an admissible bound on the cost still to be
+        paid *beyond* the pure execution cost of Equation 3.  For goals without
+        a per-query deadline semantics the bound is zero.
+        """
+        capacity = self._capacity_deadline
+        if capacity is None or not node.state.remaining:
+            return 0.0
+        remaining_work = sum(
+            self._cheapest_time[name] * count for name, count in node.state.remaining
+        )
+        slack = 0.0
+        if node.state.last_vm() is not None:
+            slack = max(0.0, capacity - node.last_vm_finish)
+        overflow = remaining_work - slack
+        if overflow <= 0:
+            return 0.0
+        rate = self._goal.penalty_rate
+        max_new_vms = int(overflow // capacity) + 1
+        best = float("inf")
+        for new_vms in range(max_new_vms + 1):
+            unplaced = max(0.0, overflow - new_vms * capacity)
+            best = min(best, new_vms * self._min_startup_cost + rate * unplaced)
+        return best
+
+    def priority(self, node: SearchNode) -> float:
+        """A* f-value: a lower bound on the best complete-schedule cost via *node*.
+
+        * Goal vertices use their true cost (infrastructure + penalty).
+        * For monotonic goals, internal vertices use
+          ``infrastructure + partial penalty + Equation-3 heuristic`` — the
+          partial penalty can only grow, so the bound is admissible.
+        * For non-monotonic goals the partial penalty is dropped (it may shrink
+          as more queries arrive), leaving ``infrastructure + heuristic``,
+          which is admissible because penalties are never negative.
+        """
+        if node.state.is_goal():
+            return node.partial_cost
+        bound = node.infra_cost + self.remaining_execution_bound(node.state)
+        if self._goal.is_monotonic:
+            bound += node.penalty + self.provisioning_bound(node)
+        else:
+            remaining_bounds: list[float] = []
+            for name, count in node.state.remaining:
+                remaining_bounds.extend([self._cheapest_time[name]] * count)
+            assigned = [outcome.latency for outcome in node.outcomes]
+            bound += self._goal.future_cost_lower_bound(
+                assigned, remaining_bounds, self._min_startup_cost
+            )
+        return bound
+
+    # -- miscellany ---------------------------------------------------------------------
+
+    def is_goal(self, state: SearchState) -> bool:
+        """True when *state* is a goal vertex (complete schedule)."""
+        return state.is_goal()
+
+    def total_queries(self) -> int:
+        """Number of queries in the workload being scheduled."""
+        return sum(self._counts.values())
+
+    def initial_counts(self) -> tuple[tuple[str, int], ...]:
+        """Frozen template counts of the workload (canonical order)."""
+        return freeze_counts(self._counts)
+
+    def partial_cost_of(self, outcomes: Sequence[LatencyOutcome], infra_cost: float) -> float:
+        """Cost of an arbitrary partial schedule description under this goal."""
+        return infra_cost + self._goal.penalty(outcomes)

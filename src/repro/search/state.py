@@ -1,0 +1,116 @@
+"""Vertices of the scheduling graph.
+
+A vertex (Section 4.3) couples a *partial schedule* — the VMs provisioned so
+far with their template queues — with the multiset of queries still waiting to
+be assigned.  Because queries of the same template are interchangeable, the
+state only tracks template names; the driver maps templates back to concrete
+query instances once the optimal goal vertex is known.
+
+The representation is fully immutable and hashable so that the A* search can
+deduplicate states reached via different action orders (one of the redundancy
+eliminations that makes the graph search tractable).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+
+#: A provisioned VM inside a search state: (vm type name, template queue).
+VMState = tuple[str, tuple[str, ...]]
+
+
+def freeze_counts(counts: Mapping[str, int] | Counter[str]) -> tuple[tuple[str, int], ...]:
+    """Canonical, hashable form of a template multiset (zero counts dropped)."""
+    return tuple(sorted((name, count) for name, count in counts.items() if count > 0))
+
+
+@dataclass(frozen=True)
+class SearchState:
+    """One vertex of the scheduling graph."""
+
+    #: Partial schedule: VMs in provisioning order with their template queues.
+    vms: tuple[VMState, ...]
+    #: Unassigned queries, as a frozen multiset of template names.
+    remaining: tuple[tuple[str, int], ...]
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def initial(cls, counts: Mapping[str, int] | Counter[str]) -> "SearchState":
+        """The start vertex: nothing provisioned, every query unassigned."""
+        return cls(vms=(), remaining=freeze_counts(counts))
+
+    # -- accessors -------------------------------------------------------------
+
+    def remaining_counts(self) -> Counter[str]:
+        """The unassigned-template multiset as a mutable counter."""
+        return Counter(dict(self.remaining))
+
+    def remaining_total(self) -> int:
+        """Number of queries still unassigned."""
+        return sum(count for _, count in self.remaining)
+
+    def remaining_templates(self) -> tuple[str, ...]:
+        """Distinct template names with at least one unassigned query."""
+        return tuple(name for name, _ in self.remaining)
+
+    def has_remaining(self, template_name: str) -> bool:
+        """True when at least one query of *template_name* is unassigned."""
+        return any(name == template_name for name, _ in self.remaining)
+
+    def is_goal(self) -> bool:
+        """True when every query has been assigned (a complete schedule)."""
+        return not self.remaining
+
+    def num_vms(self) -> int:
+        """Number of VMs provisioned so far."""
+        return len(self.vms)
+
+    def last_vm(self) -> VMState | None:
+        """The most recently provisioned VM, or ``None`` if there is none."""
+        return self.vms[-1] if self.vms else None
+
+    def last_vm_is_empty(self) -> bool:
+        """True when the most recent VM exists and has no queries yet."""
+        last = self.last_vm()
+        return last is not None and not last[1]
+
+    def assigned_total(self) -> int:
+        """Number of queries assigned so far."""
+        return sum(len(queue) for _, queue in self.vms)
+
+    # -- transitions -----------------------------------------------------------
+
+    def with_new_vm(self, vm_type_name: str) -> "SearchState":
+        """Successor state after provisioning an empty VM of *vm_type_name*."""
+        return SearchState(vms=self.vms + ((vm_type_name, ()),), remaining=self.remaining)
+
+    def with_placement(self, template_name: str) -> "SearchState":
+        """Successor state after placing one *template_name* query on the last VM."""
+        if not self.vms:
+            raise ValueError("cannot place a query before provisioning a VM")
+        counts = self.remaining_counts()
+        if counts[template_name] <= 0:
+            raise ValueError(f"no unassigned query of template {template_name!r}")
+        counts[template_name] -= 1
+        vm_type_name, queue = self.vms[-1]
+        updated_vm = (vm_type_name, queue + (template_name,))
+        return SearchState(
+            vms=self.vms[:-1] + (updated_vm,), remaining=freeze_counts(counts)
+        )
+
+    # -- cosmetics ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Compact human-readable rendering (useful in debugging/tests)."""
+        vms = "; ".join(f"{vm_type}[{','.join(queue)}]" for vm_type, queue in self.vms)
+        remaining = ", ".join(f"{name}x{count}" for name, count in self.remaining)
+        return f"vms=({vms}) remaining=({remaining})"
+
+
+def counts_from_templates(names: Iterable[str]) -> Counter[str]:
+    """Counter over template names (convenience for building initial states)."""
+    return Counter(names)

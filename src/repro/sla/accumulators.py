@@ -1,0 +1,150 @@
+"""Incremental violation-period accumulators.
+
+The offline search works on small sample workloads, so re-evaluating a goal's
+violation period from scratch at every vertex is cheap.  The *runtime*
+scheduler, however, walks workloads of tens of thousands of queries (Figure 17
+schedules 30,000), and the ``cost-of-X`` feature needs the marginal penalty of
+a hypothetical placement at every step.  Recomputing the violation period over
+all previously placed queries would make scheduling quadratic.
+
+Each accumulator maintains just enough state to answer two questions in O(1)
+or O(log n):
+
+* what is the violation period of everything placed so far, and
+* what would it become if one more query (of a given template, with a given
+  latency) were placed?
+
+The accumulators mirror the violation-period definitions of Section 3 exactly,
+and the property-based tests assert they agree with the batch definitions.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from abc import ABC, abstractmethod
+
+
+class ViolationAccumulator(ABC):
+    """Incrementally tracks a goal's violation period as queries are placed."""
+
+    @abstractmethod
+    def add(self, template_name: str, latency: float) -> None:
+        """Record that a query of *template_name* completed with *latency*."""
+
+    @abstractmethod
+    def violation(self) -> float:
+        """Violation period (seconds) of everything recorded so far."""
+
+    @abstractmethod
+    def violation_with(self, template_name: str, latency: float) -> float:
+        """Violation period if one more query were recorded (non-mutating)."""
+
+    @abstractmethod
+    def copy(self) -> "ViolationAccumulator":
+        """An independent copy of the accumulator's state."""
+
+
+class PerQueryViolationAccumulator(ViolationAccumulator):
+    """Accumulator for per-query-deadline goals (and max-latency as a special case)."""
+
+    def __init__(self, deadlines: dict[str, float], default_deadline: float) -> None:
+        self._deadlines = dict(deadlines)
+        self._default_deadline = default_deadline
+        self._violation = 0.0
+
+    def _overage(self, template_name: str, latency: float) -> float:
+        deadline = self._deadlines.get(template_name, self._default_deadline)
+        return max(0.0, latency - deadline)
+
+    def add(self, template_name: str, latency: float) -> None:
+        self._violation += self._overage(template_name, latency)
+
+    def violation(self) -> float:
+        return self._violation
+
+    def violation_with(self, template_name: str, latency: float) -> float:
+        return self._violation + self._overage(template_name, latency)
+
+    def copy(self) -> "PerQueryViolationAccumulator":
+        clone = PerQueryViolationAccumulator(self._deadlines, self._default_deadline)
+        clone._violation = self._violation
+        return clone
+
+
+class MaxLatencyViolationAccumulator(PerQueryViolationAccumulator):
+    """Accumulator for max-latency goals: one shared deadline for every template."""
+
+    def __init__(self, deadline: float) -> None:
+        super().__init__({}, deadline)
+
+
+class AverageLatencyViolationAccumulator(ViolationAccumulator):
+    """Accumulator for average-latency goals: tracks the running mean."""
+
+    def __init__(self, deadline: float) -> None:
+        self._deadline = deadline
+        self._total = 0.0
+        self._count = 0
+
+    def add(self, template_name: str, latency: float) -> None:
+        self._total += latency
+        self._count += 1
+
+    def violation(self) -> float:
+        if self._count == 0:
+            return 0.0
+        return max(0.0, self._total / self._count - self._deadline)
+
+    def violation_with(self, template_name: str, latency: float) -> float:
+        total = self._total + latency
+        count = self._count + 1
+        return max(0.0, total / count - self._deadline)
+
+    def copy(self) -> "AverageLatencyViolationAccumulator":
+        clone = AverageLatencyViolationAccumulator(self._deadline)
+        clone._total = self._total
+        clone._count = self._count
+        return clone
+
+
+class PercentileViolationAccumulator(ViolationAccumulator):
+    """Accumulator for percentile goals: keeps latencies sorted for rank queries."""
+
+    def __init__(self, percent: float, deadline: float) -> None:
+        self._percent = percent
+        self._deadline = deadline
+        self._latencies: list[float] = []
+
+    def _percentile(self, latencies: list[float]) -> float:
+        if not latencies:
+            return 0.0
+        rank = max(1, math.ceil(self._percent / 100.0 * len(latencies)))
+        return latencies[rank - 1]
+
+    def add(self, template_name: str, latency: float) -> None:
+        bisect.insort(self._latencies, latency)
+
+    def violation(self) -> float:
+        if not self._latencies:
+            return 0.0
+        return max(0.0, self._percentile(self._latencies) - self._deadline)
+
+    def violation_with(self, template_name: str, latency: float) -> float:
+        # Hypothetical insertion: find the percentile of the list as if the new
+        # latency were present, without actually mutating the sorted list.
+        size = len(self._latencies) + 1
+        rank = max(1, math.ceil(self._percent / 100.0 * size))
+        insert_at = bisect.bisect_right(self._latencies, latency)
+        if rank - 1 < insert_at:
+            value = self._latencies[rank - 1]
+        elif rank - 1 == insert_at:
+            value = latency
+        else:
+            value = self._latencies[rank - 2]
+        return max(0.0, value - self._deadline)
+
+    def copy(self) -> "PercentileViolationAccumulator":
+        clone = PercentileViolationAccumulator(self._percent, self._deadline)
+        clone._latencies = list(self._latencies)
+        return clone

@@ -1,0 +1,229 @@
+"""Performance goals (SLAs): violation periods, penalties, and goal algebra.
+
+A performance goal ``R`` (Section 2) constrains query latencies and is paired,
+inside an SLA, with a penalty function that converts violations into money.
+Following the paper (and the IaaS model it cites) penalties are charged per
+unit of *violation period* — the amount of time the goal was not met — at a
+fixed rate (1 cent/second by default, Section 7.1).
+
+The goal classes implement three capabilities used elsewhere in the library:
+
+* ``violation_period`` / ``penalty`` over a set of query outcomes — used both
+  by the cost model (Equation 1) and by the scheduling-graph edge weights
+  (Equation 2);
+* ``is_monotonic`` — whether adding a query to a schedule can never decrease
+  the penalty, which decides whether the A* search may use the admissible
+  heuristic of Equation 3 (Section 4.3);
+* goal *algebra* — tightening by a percentage (adaptive modeling, Section 5,
+  and the strictness sweep of Figure 11) and shifting by a fixed time delta
+  (the linear-shifting online optimization of Section 6.3.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro import config
+from repro.core.outcome import QueryOutcome
+from repro.exceptions import GoalError
+from repro.sla.accumulators import ViolationAccumulator
+from repro.workloads.templates import TemplateSet
+
+
+class PerformanceGoal(ABC):
+    """Base class for all performance goals."""
+
+    #: Short machine-readable identifier (``"max"``, ``"per_query"``, ...).
+    kind: str = "abstract"
+
+    def __init__(self, penalty_rate: float = config.DEFAULT_PENALTY_RATE) -> None:
+        if penalty_rate < 0:
+            raise GoalError("penalty_rate must be non-negative")
+        self._penalty_rate = penalty_rate
+
+    # -- penalties -----------------------------------------------------------
+
+    @property
+    def penalty_rate(self) -> float:
+        """Penalty accrued per second of violation, in cents."""
+        return self._penalty_rate
+
+    @abstractmethod
+    def violation_period(self, outcomes: Sequence[QueryOutcome]) -> float:
+        """Total violation period (seconds) of the goal over *outcomes*."""
+
+    def penalty(self, outcomes: Sequence[QueryOutcome]) -> float:
+        """Monetary penalty ``p(R, S)`` in cents for the given outcomes."""
+        return self._penalty_rate * self.violation_period(outcomes)
+
+    def is_satisfied(self, outcomes: Sequence[QueryOutcome]) -> bool:
+        """True when the outcomes incur no violation at all."""
+        return self.violation_period(outcomes) <= 1e-9
+
+    @abstractmethod
+    def accumulator(self) -> ViolationAccumulator:
+        """A fresh incremental violation accumulator for this goal.
+
+        Used by the runtime scheduler to evaluate marginal penalties in O(1)
+        or O(log n) per placement instead of rescanning every placed query
+        (see :mod:`repro.sla.accumulators`).
+        """
+
+    # -- search guidance hooks --------------------------------------------------
+
+    def ordering_horizon(
+        self, queue_template_names: Sequence[str], candidate_template_name: str
+    ) -> float:
+        """Busy-time horizon below which query order on a VM cannot matter.
+
+        While the most recent VM's busy time stays at or below this horizon,
+        permuting its queue cannot change the goal's violation period, so the
+        optimal-schedule search only explores one canonical ordering of such
+        queues (a graph reduction on top of the two in Section 4.3).  The
+        default of 0 disables the reduction for goals that do not declare one.
+        """
+        return 0.0
+
+    def violation_lower_bound(
+        self,
+        assigned_latencies: Sequence[float],
+        remaining_latency_bounds: Sequence[float],
+    ) -> float:
+        """Lower bound (seconds) on the final violation period of any completion.
+
+        ``assigned_latencies`` are the latencies already fixed by the partial
+        schedule; ``remaining_latency_bounds`` are per-query lower bounds on
+        the latencies of the queries still to be placed.  Used as an admissible
+        penalty estimate for goals whose partial-schedule penalty cannot be
+        carried in the search node's g-value (the non-monotonic goals).  The
+        default of 0 is always admissible.
+        """
+        return 0.0
+
+    def query_deadline(self, template_name: str) -> float | None:
+        """Deadline (seconds) an individual query of *template_name* must meet.
+
+        Deadline-style goals (max latency, per-query deadlines) return the
+        bound used to compute that query's violation; goals whose penalty is
+        not separable per query return ``None``.  The optimal-schedule search
+        uses this to apply an adjacent pairwise-interchange dominance rule on
+        VM queues.
+        """
+        return None
+
+    def future_cost_lower_bound(
+        self,
+        assigned_latencies: Sequence[float],
+        remaining_latency_bounds: Sequence[float],
+        min_startup_cost: float,
+    ) -> float:
+        """Lower bound (cents) on the penalty-plus-provisioning cost still to come.
+
+        Non-monotonic goals cannot carry their partial penalty in the search
+        node's g-value, so this hook provides the admissible estimate used in
+        its place.  The default multiplies :meth:`violation_lower_bound` (which
+        assumes unlimited free VMs) by the penalty rate; goals that can reason
+        about the provisioning/penalty trade-off override it with something
+        sharper.
+        """
+        return self._penalty_rate * self.violation_lower_bound(
+            assigned_latencies, remaining_latency_bounds
+        )
+
+    # -- structural properties -----------------------------------------------
+
+    @property
+    @abstractmethod
+    def is_monotonic(self) -> bool:
+        """Whether the penalty can never decrease as queries are added.
+
+        Monotonically increasing goals (per-query deadlines, max latency) let
+        the A* search use the admissible cheapest-remaining-work heuristic of
+        Equation 3; non-monotonic goals (average latency, percentile) fall
+        back to the null heuristic (Section 4.3).
+        """
+
+    @property
+    @abstractmethod
+    def is_linearly_shiftable(self) -> bool:
+        """Whether waiting ``n`` seconds equals tightening the goal by ``n`` seconds.
+
+        Linearly shiftable goals (max latency, per-query deadlines) allow the
+        online scheduler to replace model retraining with the cheaper adaptive
+        shifting of Section 5 (Section 6.3.1).
+        """
+
+    # -- goal algebra ----------------------------------------------------------
+
+    @abstractmethod
+    def strictest_value(self, templates: TemplateSet) -> float:
+        """The tightest achievable value of the goal's deadline for *templates*.
+
+        Used by the tightening formula of Section 7.3:
+        ``new = t + (g - t) * (1 - p)`` where ``t`` is this value and ``g`` the
+        current deadline.
+        """
+
+    @abstractmethod
+    def with_deadline(self, deadline: float) -> "PerformanceGoal":
+        """A copy of this goal with its primary deadline replaced."""
+
+    @property
+    @abstractmethod
+    def deadline(self) -> float:
+        """The goal's primary deadline in seconds (template-averaged for per-query goals)."""
+
+    def tightened(self, fraction: float, templates: TemplateSet) -> "PerformanceGoal":
+        """Tighten the goal by *fraction* of its slack above the strictest value.
+
+        ``fraction = 0`` returns an equivalent goal; ``fraction = 1`` returns
+        the strictest possible goal; negative fractions relax the goal.  This
+        is the formula used for Figure 16's SLA-shift sweep.
+        """
+        strictest = self.strictest_value(templates)
+        current = self.deadline
+        new_deadline = strictest + (current - strictest) * (1.0 - fraction)
+        return self.with_deadline(new_deadline)
+
+    def with_strictness_factor(self, factor: float) -> "PerformanceGoal":
+        """Scale the deadline by ``1 - factor`` (Figure 11's strictness knob).
+
+        A positive factor tightens the goal, a negative factor relaxes it, and
+        0 leaves it unchanged.
+        """
+        if factor >= 1.0:
+            raise GoalError("strictness factor must be < 1 (deadline must stay positive)")
+        return self.with_deadline(self.deadline * (1.0 - factor))
+
+    def shifted(self, delta: float) -> "PerformanceGoal":
+        """Tighten the goal by an absolute time *delta* (seconds).
+
+        Only meaningful for linearly shiftable goals; other goals raise
+        :class:`GoalError`.
+        """
+        if not self.is_linearly_shiftable:
+            raise GoalError(f"{self.kind} goals are not linearly shiftable")
+        return self.with_deadline(max(1.0, self.deadline - delta))
+
+    def is_stricter_than(self, other: "PerformanceGoal") -> bool:
+        """True when this goal's deadline is tighter than *other*'s (same kind only)."""
+        if self.kind != other.kind:
+            raise GoalError(
+                f"cannot compare goals of different kinds: {self.kind} vs {other.kind}"
+            )
+        return self.deadline < other.deadline
+
+    # -- cosmetics -------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human-readable description of the goal."""
+        return f"{self.kind} goal (deadline {self.deadline:.0f}s)"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+def latencies(outcomes: Sequence[QueryOutcome]) -> list[float]:
+    """Observed latencies of *outcomes* (helper shared by the goal classes)."""
+    return [outcome.latency for outcome in outcomes]

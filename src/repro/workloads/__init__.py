@@ -1,0 +1,39 @@
+"""Query templates, queries, workloads, and workload generators.
+
+This package implements the *workload specification* side of WiSeDB
+(Section 2 of the paper): applications describe their workloads as a set of
+query templates, and concrete workloads are batches of template instances.
+"""
+
+from repro.workloads.generator import WorkloadGenerator, workload_of
+from repro.workloads.query import Query
+from repro.workloads.skew import (
+    chi_squared_confidence,
+    chi_squared_statistic,
+    proportions_to_counts,
+    skewed_proportions,
+)
+from repro.workloads.templates import (
+    QueryTemplate,
+    TemplateSet,
+    tpch_template,
+    tpch_templates,
+    uniform_templates,
+)
+from repro.workloads.workload import Workload
+
+__all__ = [
+    "Query",
+    "QueryTemplate",
+    "TemplateSet",
+    "Workload",
+    "WorkloadGenerator",
+    "chi_squared_confidence",
+    "chi_squared_statistic",
+    "proportions_to_counts",
+    "skewed_proportions",
+    "tpch_template",
+    "tpch_templates",
+    "uniform_templates",
+    "workload_of",
+]

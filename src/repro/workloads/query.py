@@ -1,0 +1,58 @@
+"""Concrete query instances.
+
+A :class:`Query` is an instance of a :class:`~repro.workloads.templates.QueryTemplate`
+(Section 2): the paper writes ``q_j^x`` for the *j*-th query, which is an
+instance of template ``T_x``.  Queries carry an identifier (so a workload can
+contain many instances of the same template), the template name, and an
+optional arrival time used by the online scheduler (Section 6.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.exceptions import SpecificationError
+
+_query_counter = itertools.count(1)
+
+
+def _next_query_id() -> int:
+    return next(_query_counter)
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single query to be scheduled.
+
+    Parameters
+    ----------
+    template_name:
+        Name of the query template this query instantiates.
+    query_id:
+        Unique identifier within the process; auto-assigned if omitted.
+    arrival_time:
+        Submission time in seconds.  Batch workloads use 0.0 for every query;
+        the online scheduler assigns real arrival offsets.
+    """
+
+    template_name: str
+    query_id: int = field(default_factory=_next_query_id)
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.template_name:
+            raise SpecificationError("query template_name must be non-empty")
+        if self.arrival_time < 0:
+            raise SpecificationError("query arrival_time must be non-negative")
+
+    def with_arrival_time(self, arrival_time: float) -> "Query":
+        """Copy of this query with a different arrival time."""
+        return Query(
+            template_name=self.template_name,
+            query_id=self.query_id,
+            arrival_time=arrival_time,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"q{self.query_id}[{self.template_name}]"

@@ -1,0 +1,158 @@
+"""Workload skew: the chi-squared statistic used in Section 7.5.
+
+Figures 20 and 21 measure WiSeDB's sensitivity to runtime workloads that are
+skewed towards a few templates.  The paper quantifies skew with a chi-squared
+test against the null hypothesis that every template is equally represented:
+the x-axis value is the *confidence* with which that hypothesis can be
+rejected (0 = perfectly uniform, approaching 1 = essentially a single
+template).
+
+This module provides both directions:
+
+* :func:`chi_squared_confidence` computes the statistic for an observed
+  workload, and
+* :func:`skewed_proportions` constructs template proportions that achieve a
+  target skew level, which the workload generator turns into concrete
+  workloads for the sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Mapping, Sequence
+
+
+def chi_squared_statistic(counts: Mapping[str, int], template_names: Sequence[str]) -> float:
+    """Pearson's chi-squared statistic against the uniform distribution.
+
+    Parameters
+    ----------
+    counts:
+        Observed number of queries per template.
+    template_names:
+        The full template universe (templates absent from *counts* count as 0).
+    """
+    total = sum(counts.get(name, 0) for name in template_names)
+    k = len(template_names)
+    if total == 0 or k == 0:
+        return 0.0
+    expected = total / k
+    return sum(
+        (counts.get(name, 0) - expected) ** 2 / expected for name in template_names
+    )
+
+
+def _chi2_cdf(x: float, dof: int) -> float:
+    """CDF of the chi-squared distribution via the regularised lower gamma."""
+    if x <= 0:
+        return 0.0
+    return _regularised_lower_gamma(dof / 2.0, x / 2.0)
+
+
+def _regularised_lower_gamma(s: float, x: float) -> float:
+    """Regularised lower incomplete gamma function P(s, x).
+
+    Uses the series expansion for ``x < s + 1`` and the continued fraction for
+    the upper tail otherwise (Numerical Recipes style).  Accurate to ~1e-10,
+    which is far more than the skew experiments need.
+    """
+    if x < 0 or s <= 0:
+        raise ValueError("invalid arguments to the incomplete gamma function")
+    if x == 0:
+        return 0.0
+    if x < s + 1:
+        # Series representation.
+        term = 1.0 / s
+        total = term
+        denom = s
+        for _ in range(1000):
+            denom += 1.0
+            term *= x / denom
+            total += term
+            if abs(term) < abs(total) * 1e-14:
+                break
+        return total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+    # Continued fraction for Q(s, x); P = 1 - Q.
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    q = math.exp(-x + s * math.log(x) - math.lgamma(s)) * h
+    return 1.0 - q
+
+
+def chi_squared_confidence(
+    counts: Mapping[str, int] | Counter[str], template_names: Sequence[str]
+) -> float:
+    """Confidence (0..1) with which "queries are uniform over templates" is rejected.
+
+    This is the skew measure plotted on the x-axis of Figures 20 and 21: a
+    perfectly uniform workload scores ~0 and a single-template workload scores
+    ~1.
+    """
+    k = len(template_names)
+    if k <= 1:
+        return 0.0
+    stat = chi_squared_statistic(counts, template_names)
+    return _chi2_cdf(stat, dof=k - 1)
+
+
+def skewed_proportions(
+    template_names: Sequence[str], skew: float, dominant_index: int = 0
+) -> dict[str, float]:
+    """Template proportions interpolating between uniform and single-template.
+
+    ``skew = 0`` yields the uniform distribution; ``skew = 1`` concentrates the
+    whole workload on ``template_names[dominant_index]``.  Intermediate values
+    interpolate linearly, which sweeps the chi-squared confidence smoothly from
+    0 to 1 for reasonably sized workloads.
+    """
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError(f"skew must be within [0, 1], got {skew}")
+    k = len(template_names)
+    if k == 0:
+        return {}
+    dominant = template_names[dominant_index % k]
+    uniform = 1.0 / k
+    proportions = {}
+    for name in template_names:
+        point_mass = 1.0 if name == dominant else 0.0
+        proportions[name] = (1.0 - skew) * uniform + skew * point_mass
+    return proportions
+
+
+def proportions_to_counts(
+    proportions: Mapping[str, float], total: int
+) -> dict[str, int]:
+    """Convert fractional proportions to integer counts summing to *total*.
+
+    Uses largest-remainder rounding so the result is deterministic and always
+    sums exactly to *total*.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    raw = {name: proportions[name] * total for name in proportions}
+    counts = {name: int(math.floor(value)) for name, value in raw.items()}
+    shortfall = total - sum(counts.values())
+    remainders = sorted(
+        proportions, key=lambda name: (raw[name] - counts[name], name), reverse=True
+    )
+    for name in remainders[:shortfall]:
+        counts[name] += 1
+    return counts

@@ -1,0 +1,120 @@
+"""End-to-end tests of the WiSeDBAdvisor facade and cross-module integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TrainingConfig
+from repro.core.advisor import WiSeDBAdvisor
+from repro.core.cost_model import CostModel
+from repro.exceptions import TrainingError
+from repro.runtime.online import OnlineOptimizations
+from repro.search.optimal import find_optimal_schedule
+from repro.sla.max_latency import MaxLatencyGoal
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def advisor(small_templates):
+    advisor = WiSeDBAdvisor(small_templates, config=TrainingConfig.tiny(seed=13))
+    advisor.train(MaxLatencyGoal.from_factor(small_templates, factor=2.5))
+    return advisor
+
+
+def test_untrained_advisor_raises(small_templates):
+    fresh = WiSeDBAdvisor(small_templates, config=TrainingConfig.tiny())
+    with pytest.raises(TrainingError):
+        fresh.model
+
+
+def test_train_exposes_model_and_training(advisor, small_templates):
+    assert advisor.model.goal.kind == "max"
+    assert advisor.training.num_examples > 0
+    assert advisor.templates is small_templates
+    assert len(advisor.vm_types) == 1
+
+
+def test_schedule_batch_and_evaluate(advisor, small_templates):
+    workload = WorkloadGenerator(small_templates, seed=31).uniform(18)
+    schedule = advisor.schedule_batch(workload)
+    schedule.validate_complete(workload)
+    breakdown = advisor.evaluate(schedule)
+    assert breakdown.total > 0.0
+    assert breakdown.startup_cost > 0.0
+
+
+def test_scheduled_cost_close_to_optimal(advisor, small_templates):
+    """Integration: the full pipeline stays in the optimal's ballpark (Figure 9 shape)."""
+    workload = WorkloadGenerator(small_templates, seed=32).uniform(16)
+    schedule = advisor.schedule_batch(workload)
+    model_cost = advisor.evaluate(schedule).total
+    optimal = find_optimal_schedule(
+        workload,
+        advisor.vm_types,
+        advisor.model.goal,
+        advisor.generator.latency_model,
+        max_expansions=200_000,
+    )
+    assert model_cost <= optimal.total_cost * 1.35
+
+
+def test_adapt_produces_stricter_model(advisor, small_templates):
+    stricter_goal = advisor.model.goal.tightened(0.3, small_templates)
+    result, report = advisor.adapt(stricter_goal)
+    assert result.model.goal.deadline < advisor.model.goal.deadline
+    assert report.samples_retrained > 0
+
+
+def test_recommend_strategies(advisor):
+    strategies = advisor.recommend_strategies(k=3, num_candidates=5, max_shift=0.4)
+    assert len(strategies) == 3
+    deadlines = [s.goal.deadline for s in strategies]
+    assert deadlines == sorted(deadlines, reverse=True)
+
+
+def test_cost_estimator_roundtrip(advisor, small_templates):
+    estimator = advisor.cost_estimator()
+    estimate = estimator.estimate({"T1": 10, "T2": 5, "T3": 5})
+    workload = WorkloadGenerator(small_templates, seed=33).from_proportions(
+        {"T1": 0.5, "T2": 0.25, "T3": 0.25}, 20
+    )
+    schedule = advisor.schedule_batch(workload)
+    actual = advisor.evaluate(schedule).total
+    # The estimator is calibrated on a different sample; it should land within
+    # a factor of two of the realised cost for a similar mix.
+    assert 0.4 * actual <= estimate <= 2.5 * actual
+
+
+def test_online_scheduler_from_advisor(advisor, small_templates):
+    generator = WorkloadGenerator(small_templates, seed=34)
+    workload = generator.with_fixed_arrivals(generator.uniform(8), delay=45.0)
+    scheduler = advisor.online_scheduler(OnlineOptimizations.all(), wait_resolution=60.0)
+    report = scheduler.run(workload)
+    assert len(report.outcomes) == len(workload)
+    assert report.total_cost > 0.0
+
+
+def test_schedule_with_explicit_model(advisor, small_templates):
+    workload = WorkloadGenerator(small_templates, seed=35).uniform(10)
+    schedule = advisor.schedule_batch(workload, model=advisor.model)
+    schedule.validate_complete(workload)
+
+
+def test_evaluate_with_explicit_goal(advisor, small_templates):
+    workload = WorkloadGenerator(small_templates, seed=36).uniform(8)
+    schedule = advisor.schedule_batch(workload)
+    loose = MaxLatencyGoal(deadline=10_000.0)
+    strict = MaxLatencyGoal(deadline=60.0)
+    assert advisor.evaluate(schedule, strict).total >= advisor.evaluate(schedule, loose).total
+
+
+def test_two_vm_type_advisor(small_templates, two_type_catalog):
+    advisor = WiSeDBAdvisor(
+        small_templates, vm_types=two_type_catalog, config=TrainingConfig.tiny(seed=14)
+    )
+    advisor.train(MaxLatencyGoal.from_factor(small_templates, factor=2.5))
+    workload = WorkloadGenerator(small_templates, seed=37).uniform(15)
+    schedule = advisor.schedule_batch(workload)
+    schedule.validate_complete(workload)
+    used_types = {vm.vm_type.name for vm in schedule}
+    assert used_types <= {"t2.medium", "t2.small"}

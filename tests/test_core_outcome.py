@@ -1,0 +1,50 @@
+"""Query outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcome import QueryOutcome
+
+
+def test_latency_and_wait_time():
+    outcome = QueryOutcome(
+        query_id=1,
+        template_name="T1",
+        vm_index=0,
+        vm_type_name="t2.medium",
+        arrival_time=10.0,
+        start_time=25.0,
+        completion_time=85.0,
+        execution_time=60.0,
+    )
+    assert outcome.latency == 75.0
+    assert outcome.wait_time == 15.0
+
+
+def test_completion_before_start_rejected():
+    with pytest.raises(ValueError):
+        QueryOutcome(
+            query_id=1,
+            template_name="T1",
+            vm_index=0,
+            vm_type_name="vm",
+            arrival_time=0.0,
+            start_time=10.0,
+            completion_time=5.0,
+            execution_time=1.0,
+        )
+
+
+def test_start_before_arrival_rejected():
+    with pytest.raises(ValueError):
+        QueryOutcome(
+            query_id=1,
+            template_name="T1",
+            vm_index=0,
+            vm_type_name="vm",
+            arrival_time=10.0,
+            start_time=5.0,
+            completion_time=20.0,
+            execution_time=15.0,
+        )

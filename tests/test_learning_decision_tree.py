@@ -1,0 +1,180 @@
+"""The from-scratch C4.5-style decision tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TrainingError
+from repro.learning.decision_tree import DecisionTreeClassifier
+
+
+def fit_tree(matrix, labels, names, **kwargs):
+    tree = DecisionTreeClassifier(**kwargs)
+    return tree.fit(np.asarray(matrix, dtype=float), labels, names)
+
+
+def test_single_class_yields_leaf():
+    tree = fit_tree([[0.0], [1.0], [2.0]], ["a", "a", "a"], ["x"])
+    assert tree.depth() == 0
+    assert tree.leaf_count() == 1
+    assert tree.predict({"x": 5.0}) == "a"
+
+
+def test_simple_threshold_split():
+    matrix = [[0.0], [1.0], [10.0], [11.0]]
+    labels = ["low", "low", "high", "high"]
+    tree = fit_tree(matrix, labels, ["x"], min_samples_leaf=1, min_samples_split=2)
+    assert tree.predict({"x": 0.5}) == "low"
+    assert tree.predict({"x": 12.0}) == "high"
+    assert tree.depth() == 1
+
+
+def test_two_feature_conjunction():
+    # label "b" only when both features are high: needs a two-level tree.
+    matrix = [[0, 0], [0, 1], [1, 0], [1, 1]] * 5
+    labels = ["b" if x == 1 and y == 1 else "a" for x, y in [(r[0], r[1]) for r in matrix]]
+    tree = fit_tree(matrix, labels, ["x", "y"], min_samples_leaf=1, min_samples_split=2)
+    assert tree.predict({"x": 0, "y": 1}) == "a"
+    assert tree.predict({"x": 1, "y": 0}) == "a"
+    assert tree.predict({"x": 1, "y": 1}) == "b"
+    assert tree.depth() == 2
+
+
+def test_training_accuracy_on_separable_data():
+    rng = np.random.default_rng(0)
+    xs = rng.uniform(0, 1, size=(200, 3))
+    labels = ["pos" if row[0] + row[1] > 1.0 else "neg" for row in xs]
+    tree = fit_tree(xs, labels, ["a", "b", "c"], min_samples_leaf=1, min_samples_split=2)
+    assert tree.accuracy(xs, labels) > 0.95
+
+
+def test_max_depth_limits_tree():
+    rng = np.random.default_rng(1)
+    xs = rng.uniform(0, 1, size=(100, 2))
+    labels = ["pos" if row[0] > row[1] else "neg" for row in xs]
+    shallow = fit_tree(xs, labels, ["a", "b"], max_depth=2)
+    assert shallow.depth() <= 2
+
+
+def test_min_samples_leaf_respected():
+    matrix = [[float(i)] for i in range(10)]
+    labels = ["a"] * 5 + ["b"] * 5
+    tree = fit_tree(matrix, labels, ["x"], min_samples_leaf=5, min_samples_split=10)
+
+    def leaves(node):
+        if node.is_leaf:
+            return [node]
+        return leaves(node.left) + leaves(node.right)
+
+    assert all(leaf.samples >= 5 for leaf in leaves(tree._root))
+
+
+def test_predict_vector_and_mapping_agree():
+    matrix = [[0.0, 1.0], [5.0, 0.0], [9.0, 3.0], [2.0, 8.0]]
+    labels = ["a", "b", "b", "a"]
+    tree = fit_tree(matrix, labels, ["x", "y"], min_samples_leaf=1, min_samples_split=2)
+    for row in matrix:
+        assert tree.predict_vector(row) == tree.predict({"x": row[0], "y": row[1]})
+
+
+def test_missing_features_default_to_zero():
+    tree = fit_tree([[0.0], [10.0]], ["a", "b"], ["x"], min_samples_leaf=1, min_samples_split=2)
+    assert tree.predict({}) == "a"
+
+
+def test_decision_path_ends_in_leaf():
+    matrix = [[float(i)] for i in range(20)]
+    labels = ["a" if i < 10 else "b" for i in range(20)]
+    tree = fit_tree(matrix, labels, ["x"], min_samples_leaf=1, min_samples_split=2)
+    path = tree.decision_path({"x": 3.0})
+    assert path[-1].is_leaf
+    assert len(path) == tree.depth() + 1 or path[-1].is_leaf
+
+
+def test_feature_importances_identify_informative_feature():
+    rng = np.random.default_rng(2)
+    informative = rng.uniform(0, 1, size=300)
+    noise = rng.uniform(0, 1, size=300)
+    matrix = np.column_stack([informative, noise])
+    labels = ["pos" if value > 0.5 else "neg" for value in informative]
+    tree = fit_tree(matrix, labels, ["signal", "noise"])
+    importances = tree.feature_importances()
+    assert importances.get("signal", 0.0) > importances.get("noise", 0.0)
+
+
+def test_unfitted_tree_raises():
+    tree = DecisionTreeClassifier()
+    assert not tree.is_fitted
+    with pytest.raises(TrainingError):
+        tree.predict({"x": 1.0})
+
+
+def test_fit_validates_shapes():
+    tree = DecisionTreeClassifier()
+    with pytest.raises(TrainingError):
+        tree.fit(np.zeros((0, 2)), [], ["a", "b"])
+    with pytest.raises(TrainingError):
+        tree.fit(np.zeros((2, 2)), ["a"], ["a", "b"])
+    with pytest.raises(TrainingError):
+        tree.fit(np.zeros((2, 2)), ["a", "b"], ["a"])
+
+
+def test_constructor_validation():
+    with pytest.raises(TrainingError):
+        DecisionTreeClassifier(max_depth=0)
+    with pytest.raises(TrainingError):
+        DecisionTreeClassifier(min_samples_leaf=0)
+
+
+def test_to_text_contains_feature_names():
+    tree = fit_tree([[0.0], [10.0]], ["a", "b"], ["wait_time"], min_samples_leaf=1, min_samples_split=2)
+    text = tree.to_text()
+    assert "wait_time" in text
+    assert "->" in text
+
+
+def test_node_count_consistency():
+    rng = np.random.default_rng(3)
+    xs = rng.uniform(0, 1, size=(150, 2))
+    labels = ["a" if row[0] > 0.3 else "b" for row in xs]
+    tree = fit_tree(xs, labels, ["a", "b"])
+    assert tree.node_count() == 2 * tree.leaf_count() - 1
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ),
+        min_size=4,
+        max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_predictions_are_known_labels(data):
+    """Property: the tree only ever predicts labels it has seen during training."""
+    labels = ["big" if a + b > 100 else "small" for a, b in data]
+    tree = fit_tree([list(row) for row in data], labels, ["a", "b"], min_samples_leaf=1, min_samples_split=2)
+    for a, b in data:
+        assert tree.predict({"a": a, "b": b}) in set(labels)
+
+
+@given(
+    values=st.lists(st.floats(min_value=-1000, max_value=1000, allow_nan=False), min_size=6, max_size=40)
+)
+@settings(max_examples=40, deadline=None)
+def test_property_perfectly_separable_single_feature(values):
+    """Property: a single-feature threshold concept is learned exactly on training data."""
+    values = sorted(set(values))
+    if len(values) < 4:
+        return
+    threshold = values[len(values) // 2]
+    labels = ["ge" if v >= threshold else "lt" for v in values]
+    if len(set(labels)) < 2:
+        return
+    tree = fit_tree([[v] for v in values], labels, ["x"], min_samples_leaf=1, min_samples_split=2)
+    assert tree.accuracy(np.asarray([[v] for v in values]), labels) == pytest.approx(1.0)

@@ -1,0 +1,138 @@
+"""Feature extraction from scheduling-graph vertices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.cloud.latency import TemplateLatencyModel
+from repro.cloud.vm import VMType, VMTypeCatalog, single_vm_type_catalog, t2_medium
+from repro.learning.features import (
+    FEATURE_FAMILIES,
+    FeatureExtractor,
+    INFEASIBLE_COST,
+    cost_feature,
+    have_feature,
+    proportion_feature,
+    supports_feature,
+    wait_time_feature,
+)
+from repro.search.problem import SchedulingProblem
+
+
+@pytest.fixture()
+def problem(small_templates, max_goal):
+    return SchedulingProblem(
+        template_counts={"T1": 2, "T2": 1},
+        templates=small_templates,
+        vm_types=single_vm_type_catalog(),
+        goal=max_goal,
+        latency_model=TemplateLatencyModel(small_templates),
+    )
+
+
+@pytest.fixture()
+def extractor(small_templates):
+    return FeatureExtractor(small_templates, single_vm_type_catalog())
+
+
+def test_feature_names_cover_all_templates(extractor, small_templates):
+    names = extractor.feature_names
+    assert wait_time_feature() in names
+    for template in small_templates.names:
+        assert proportion_feature(template) in names
+        assert supports_feature(template) in names
+        assert cost_feature(template) in names
+        assert have_feature(template) in names
+    # 1 wait-time feature plus 4 per template.
+    assert len(names) == 1 + 4 * len(small_templates)
+
+
+def test_initial_vertex_features(extractor, problem):
+    node = problem.initial_node()
+    features = extractor.extract(node, problem)
+    assert features[wait_time_feature()] == 0.0
+    assert features[have_feature("T1")] == 1.0
+    assert features[have_feature("T3")] == 0.0
+    # No VM yet: nothing is supported and placements are infeasible.
+    assert features[supports_feature("T1")] == 0.0
+    assert features[cost_feature("T1")] == INFEASIBLE_COST
+    assert features[proportion_feature("T1")] == 0.0
+
+
+def test_features_after_placements(extractor, problem):
+    node = problem.initial_node()
+    node = problem.expand(node)[0]  # provision
+    placed = next(
+        child for child in problem.expand(node) if getattr(child.action, "template_name", None) == "T1"
+    )
+    features = extractor.extract(placed, problem)
+    assert features[wait_time_feature()] == pytest.approx(units.minutes(1))
+    assert features[proportion_feature("T1")] == 1.0
+    assert features[proportion_feature("T2")] == 0.0
+    assert features[supports_feature("T2")] == 1.0
+    assert features[have_feature("T1")] == 1.0  # one T1 instance still unassigned
+    # Placement cost of T2 equals its execution cost (no penalty yet).
+    expected = t2_medium().running_cost * units.minutes(2)
+    assert features[cost_feature("T2")] == pytest.approx(expected)
+
+
+def test_proportions_sum_to_one_on_mixed_queue(extractor, problem):
+    node = problem.initial_node()
+    node = problem.expand(node)[0]
+    # Place T1 then T2 on the same VM.
+    node = next(c for c in problem.expand(node) if getattr(c.action, "template_name", None) == "T1")
+    node = next(c for c in problem.expand(node) if getattr(c.action, "template_name", None) == "T2")
+    features = extractor.extract(node, problem)
+    total = sum(features[proportion_feature(t)] for t in ("T1", "T2", "T3"))
+    assert total == pytest.approx(1.0)
+    assert features[proportion_feature("T1")] == pytest.approx(0.5)
+
+
+def test_unsupported_template_features(small_templates, max_goal):
+    limited = VMType(name="limited", unsupported_templates={"T2"})
+    catalog = VMTypeCatalog([t2_medium(), limited])
+    problem = SchedulingProblem(
+        template_counts={"T1": 1, "T2": 1},
+        templates=small_templates,
+        vm_types=catalog,
+        goal=max_goal,
+        latency_model=TemplateLatencyModel(small_templates),
+    )
+    extractor = FeatureExtractor(small_templates, catalog)
+    on_limited = next(
+        child
+        for child in problem.expand(problem.initial_node())
+        if getattr(child.action, "vm_type_name", None) == "limited"
+    )
+    features = extractor.extract(on_limited, problem)
+    assert features[supports_feature("T2")] == 0.0
+    assert features[cost_feature("T2")] == INFEASIBLE_COST
+    assert features[supports_feature("T1")] == 1.0
+
+
+def test_restricted_feature_families(small_templates):
+    extractor = FeatureExtractor(
+        small_templates, single_vm_type_catalog(), families=("wait_time", "have")
+    )
+    names = extractor.feature_names
+    assert wait_time_feature() in names
+    assert all(not name.startswith("cost_of") for name in names)
+    assert all(not name.startswith("proportion_of") for name in names)
+
+
+def test_unknown_family_rejected(small_templates):
+    with pytest.raises(ValueError):
+        FeatureExtractor(small_templates, single_vm_type_catalog(), families=("bogus",))
+
+
+def test_vector_ordering(extractor, problem):
+    node = problem.initial_node()
+    features = extractor.extract(node, problem)
+    vector = extractor.vector(features)
+    assert len(vector) == len(extractor.feature_names)
+    assert vector[0] == features[extractor.feature_names[0]]
+
+
+def test_all_families_constant():
+    assert set(FEATURE_FAMILIES) == {"wait_time", "proportion_of", "supports", "cost_of", "have"}

@@ -1,0 +1,151 @@
+"""The training pipeline and the resulting decision models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.latency import TemplateLatencyModel
+from repro.cloud.vm import single_vm_type_catalog
+from repro.config import TrainingConfig
+from repro.exceptions import ModelError, TrainingError
+from repro.learning.features import FeatureExtractor
+from repro.learning.trainer import ModelGenerator, collect_examples
+from repro.runtime.batch import BatchScheduler
+from repro.search.actions import PlaceQuery, ProvisionVM
+from repro.search.problem import SchedulingProblem
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.workload import Workload
+
+
+def test_training_result_contents(trained_max, tiny_config):
+    assert trained_max.num_examples > 0
+    assert trained_max.model.metadata.tree_depth >= 1
+    assert trained_max.model.metadata.num_training_samples == len(trained_max.samples)
+    assert len(trained_max.workloads) == tiny_config.num_samples
+    assert trained_max.training_time > 0.0
+    assert trained_max.search_time > 0.0
+
+
+def test_training_labels_are_valid_actions(trained_max, small_templates):
+    valid_labels = {f"assign:{name}" for name in small_templates.names}
+    valid_labels |= {"provision:t2.medium"}
+    assert set(trained_max.training_set.label_counts()) <= valid_labels
+
+
+def test_training_examples_per_sample_match_decisions(model_generator, max_goal):
+    # Each sample contributes (#placements + #provisionings) examples, which is
+    # at least the number of queries per sample.
+    result = model_generator.generate(max_goal)
+    assert result.num_examples >= sum(
+        sum(sample.template_counts.values()) for sample in result.samples
+    )
+
+
+def test_collect_examples_labels_follow_optimal_path(small_templates, max_goal):
+    workload = Workload.from_counts(small_templates, {"T1": 2, "T2": 1})
+    vm_types = single_vm_type_catalog()
+    problem = SchedulingProblem.for_workload(
+        workload, vm_types, max_goal, TemplateLatencyModel(small_templates)
+    )
+    extractor = FeatureExtractor(small_templates, vm_types)
+    examples, result = collect_examples(problem, extractor)
+    assert len(examples) == len(list(result.decisions()))
+    assert examples[0].label.startswith("provision:")
+
+
+def test_generate_requires_workloads(model_generator, max_goal):
+    with pytest.raises(TrainingError):
+        model_generator.generate(max_goal, workloads=[])
+
+
+def test_generate_with_external_workloads(small_templates, max_goal, vm_catalog):
+    generator = ModelGenerator(
+        templates=small_templates,
+        vm_types=vm_catalog,
+        config=TrainingConfig.tiny(seed=3),
+    )
+    workloads = list(
+        WorkloadGenerator(small_templates, seed=11).sample_workloads(10, 5)
+    )
+    result = generator.generate(max_goal, workloads=workloads)
+    assert len(result.workloads) == 10
+    assert result.model.goal is max_goal
+
+
+def test_model_decides_valid_actions(trained_max, small_templates, vm_catalog):
+    model = trained_max.model
+    problem = SchedulingProblem(
+        template_counts={"T1": 2, "T2": 2, "T3": 1},
+        templates=small_templates,
+        vm_types=vm_catalog,
+        goal=model.goal,
+        latency_model=model.latency_model,
+    )
+    node = problem.initial_node()
+    # First decision must be provisioning (no VM exists yet).
+    model.stats.reset()
+    action = model.decide(node, problem)
+    assert isinstance(action, ProvisionVM)
+    assert model.stats.decisions == 1
+
+
+def test_model_never_stacks_empty_vms(trained_max, small_templates, vm_catalog):
+    model = trained_max.model
+    problem = SchedulingProblem(
+        template_counts={"T1": 1},
+        templates=small_templates,
+        vm_types=vm_catalog,
+        goal=model.goal,
+        latency_model=model.latency_model,
+    )
+    node = problem.initial_node()
+    provisioned = problem.expand(node)[0]
+    assert provisioned.state.last_vm_is_empty()
+    action = model.decide(provisioned, problem)
+    assert isinstance(action, PlaceQuery)
+
+
+def test_model_rejects_complete_states(trained_max, small_templates, vm_catalog):
+    model = trained_max.model
+    problem = SchedulingProblem(
+        template_counts={"T1": 1},
+        templates=small_templates,
+        vm_types=vm_catalog,
+        goal=model.goal,
+        latency_model=model.latency_model,
+    )
+    node = problem.initial_node()
+    node = problem.expand(node)[0]
+    node = problem.expand(node)[0]
+    assert node.state.is_goal()
+    with pytest.raises(ModelError):
+        model.decide(node, problem)
+
+
+def test_model_describe_and_metadata(trained_max):
+    description = trained_max.model.describe()
+    assert "max" in description
+    assert trained_max.model.metadata.goal_kind == "max"
+
+
+def test_trained_model_schedules_reasonably(trained_max, small_templates):
+    """The learned strategy should avoid penalties on an easy workload."""
+    model = trained_max.model
+    workload = Workload.from_counts(small_templates, {"T1": 4, "T2": 4, "T3": 4})
+    schedule = BatchScheduler(model).schedule(workload)
+    schedule.validate_complete(workload)
+    from repro.core.cost_model import CostModel
+
+    breakdown = CostModel(model.latency_model).breakdown(schedule, model.goal)
+    # The max-latency deadline is generous (10 minutes): a sensible learned
+    # strategy packs queries without violating it.
+    assert breakdown.penalty_cost == pytest.approx(0.0, abs=1.0)
+
+
+def test_fit_from_training_set_ablation(model_generator, trained_max, max_goal):
+    reduced = trained_max.training_set.without_features(
+        [name for name in trained_max.training_set.feature_names if name.startswith("cost_of")]
+    )
+    model = model_generator.fit_from_training_set(max_goal, reduced)
+    assert model.metadata.num_training_examples == len(reduced)
+    assert model.tree.feature_names == reduced.feature_names

@@ -1,0 +1,112 @@
+"""Online scheduling: arrivals, aged templates, and the retraining optimizations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.runtime.batch import BatchScheduler
+from repro.runtime.online import OnlineOptimizations, OnlineScheduler
+from repro.workloads.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def arrival_workload(small_templates):
+    generator = WorkloadGenerator(small_templates, seed=21)
+    workload = generator.uniform(10)
+    return generator.with_fixed_arrivals(workload, delay=30.0)
+
+
+def _scheduler(trained, generator, optimizations):
+    return OnlineScheduler(
+        base_training=trained,
+        generator=generator,
+        optimizations=optimizations,
+        wait_resolution=60.0,
+    )
+
+
+def test_optimization_labels():
+    assert OnlineOptimizations.none().describe() == "None"
+    assert OnlineOptimizations.reuse_only().describe() == "Reuse"
+    assert OnlineOptimizations.shift_only().describe() == "Shift"
+    assert OnlineOptimizations.all().describe() == "Shift + Reuse"
+
+
+def test_online_schedules_every_query(trained_max, model_generator, arrival_workload):
+    scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
+    report = scheduler.run(arrival_workload)
+    assert len(report.outcomes) == len(arrival_workload)
+    scheduled_ids = {outcome.query_id for outcome in report.outcomes}
+    assert scheduled_ids == {q.query_id for q in arrival_workload}
+
+
+def test_online_queries_start_after_arrival(trained_max, model_generator, arrival_workload):
+    scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
+    report = scheduler.run(arrival_workload)
+    arrivals = {q.query_id: q.arrival_time for q in arrival_workload}
+    for outcome in report.outcomes:
+        assert outcome.start_time >= arrivals[outcome.query_id] - 1e-9
+
+
+def test_online_report_accounting(trained_max, model_generator, arrival_workload):
+    scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
+    report = scheduler.run(arrival_workload)
+    assert report.num_vms >= 1
+    assert report.total_cost > 0.0
+    assert len(report.scheduling_overheads) == len(arrival_workload)
+    assert report.average_overhead >= 0.0
+    assert report.total_overhead == pytest.approx(sum(report.scheduling_overheads))
+
+
+def test_online_batch_arrivals_match_batch_scheduler_cost_scale(
+    trained_max, model_generator, small_templates
+):
+    """With all arrivals at t=0 the online run should behave like batch scheduling."""
+    workload = WorkloadGenerator(small_templates, seed=22).uniform(12)
+    scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
+    report = scheduler.run(workload)
+    batch_schedule = BatchScheduler(trained_max.model).schedule(workload)
+    batch_cost = CostModel(trained_max.model.latency_model).total_cost(
+        batch_schedule, trained_max.goal
+    )
+    assert report.total_cost == pytest.approx(batch_cost, rel=0.25)
+    assert report.retrains == 0
+    assert report.base_model_uses == len(workload)
+
+
+def test_shift_optimization_triggers_for_shiftable_goal(
+    trained_max, model_generator, small_templates
+):
+    generator = WorkloadGenerator(small_templates, seed=23)
+    # Long inter-arrival gaps force waits beyond the resolution for queued queries.
+    workload = generator.with_fixed_arrivals(generator.uniform(6), delay=90.0)
+    scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.shift_only())
+    report = scheduler.run(workload)
+    assert len(report.outcomes) == len(workload)
+
+
+def test_reuse_caches_models(trained_average, model_generator, small_templates):
+    """For non-shiftable goals the reuse cache avoids repeated retraining."""
+    generator = WorkloadGenerator(small_templates, seed=24)
+    workload = generator.with_fixed_arrivals(generator.uniform(8), delay=90.0)
+    with_reuse = OnlineScheduler(
+        base_training=trained_average,
+        generator=model_generator,
+        optimizations=OnlineOptimizations.reuse_only(),
+        wait_resolution=1000.0,
+    )
+    report = with_reuse.run(workload)
+    assert len(report.outcomes) == len(workload)
+    # With a coarse wait resolution every wait rounds to the same signature,
+    # so at most a couple of models are ever trained.
+    assert report.retrains <= 2
+
+
+def test_online_rejects_bad_resolution(trained_max, model_generator):
+    with pytest.raises(Exception):
+        OnlineScheduler(
+            base_training=trained_max,
+            generator=model_generator,
+            wait_resolution=0.0,
+        )

@@ -1,0 +1,83 @@
+"""Chi-squared skew statistics and skewed proportion construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.skew import (
+    chi_squared_confidence,
+    chi_squared_statistic,
+    proportions_to_counts,
+    skewed_proportions,
+)
+
+NAMES = ["T1", "T2", "T3", "T4"]
+
+
+def test_uniform_counts_have_zero_statistic():
+    counts = {name: 10 for name in NAMES}
+    assert chi_squared_statistic(counts, NAMES) == 0.0
+    assert chi_squared_confidence(counts, NAMES) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_empty_counts_have_zero_statistic():
+    assert chi_squared_statistic({}, NAMES) == 0.0
+    assert chi_squared_confidence({}, NAMES) == 0.0
+
+
+def test_single_template_counts_have_high_confidence():
+    counts = {"T1": 100}
+    assert chi_squared_confidence(counts, NAMES) > 0.999
+
+
+def test_confidence_is_monotone_in_skew():
+    confidences = []
+    for skew in (0.0, 0.25, 0.5, 0.75, 1.0):
+        proportions = skewed_proportions(NAMES, skew)
+        counts = proportions_to_counts(proportions, 200)
+        confidences.append(chi_squared_confidence(counts, NAMES))
+    assert confidences == sorted(confidences)
+
+
+def test_confidence_bounded_between_zero_and_one():
+    for skew in (0.0, 0.3, 0.7, 1.0):
+        counts = proportions_to_counts(skewed_proportions(NAMES, skew), 120)
+        confidence = chi_squared_confidence(counts, NAMES)
+        assert 0.0 <= confidence <= 1.0
+
+
+def test_single_template_universe_has_zero_confidence():
+    assert chi_squared_confidence({"T1": 50}, ["T1"]) == 0.0
+
+
+def test_skewed_proportions_sum_to_one():
+    for skew in (0.0, 0.4, 1.0):
+        proportions = skewed_proportions(NAMES, skew)
+        assert sum(proportions.values()) == pytest.approx(1.0)
+
+
+def test_skewed_proportions_validate_range():
+    with pytest.raises(ValueError):
+        skewed_proportions(NAMES, -0.1)
+    with pytest.raises(ValueError):
+        skewed_proportions(NAMES, 1.1)
+
+
+def test_skewed_proportions_dominant_index_wraps():
+    proportions = skewed_proportions(NAMES, 1.0, dominant_index=5)
+    assert proportions["T2"] == pytest.approx(1.0)
+
+
+def test_proportions_to_counts_exact_total():
+    proportions = {"T1": 1 / 3, "T2": 1 / 3, "T3": 1 / 3}
+    counts = proportions_to_counts(proportions, 10)
+    assert sum(counts.values()) == 10
+
+
+def test_proportions_to_counts_rejects_negative_total():
+    with pytest.raises(ValueError):
+        proportions_to_counts({"T1": 1.0}, -5)
+
+
+def test_proportions_to_counts_zero_total():
+    assert proportions_to_counts({"T1": 1.0}, 0) == {"T1": 0}
