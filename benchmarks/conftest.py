@@ -14,8 +14,10 @@ The benchmark functions print the rows/series of the figure they reproduce, so
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import pytest
 
@@ -113,3 +115,15 @@ def print_figure(title: str, table: str) -> None:
     """Uniform reporting helper used by every benchmark."""
     banner = "=" * len(title)
     print(f"\n{title}\n{banner}\n{table}\n")
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist a benchmark's machine-readable results next to the repo root.
+
+    Results land in ``BENCH_<name>.json`` (overwritten per run) so CI and
+    humans can diff throughput numbers across commits without scraping pytest
+    output.  Returns the path written.
+    """
+    path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

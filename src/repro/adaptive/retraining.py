@@ -13,6 +13,11 @@ that sample, and ``cost(R, v)`` the cost of ``v``'s partial schedule under the
 original goal.  The second term never overestimates when the new goal is
 stricter (Lemma 5.1), so the re-search stays exact while pruning far more
 aggressively than a fresh search.
+
+Like fresh training, the per-sample re-searches are independent, so they run
+through the same ``n_jobs`` worker pool as
+:meth:`repro.learning.trainer.ModelGenerator.generate` (the bound objects are
+picklable) with results merged in sample order for bit-identical output.
 """
 
 from __future__ import annotations
@@ -20,17 +25,36 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.exceptions import SearchBudgetExceeded, TrainingError
+from repro.exceptions import TrainingError
 from repro.learning.dataset import TrainingSet
 from repro.learning.model import DecisionModel
 from repro.learning.trainer import (
     ModelGenerator,
     SampleSolution,
+    SampleSolver,
     TrainingResult,
-    collect_examples,
+    solve_samples,
 )
-from repro.search.problem import SchedulingProblem, SearchNode
+from repro.search.problem import SearchNode
 from repro.sla.base import PerformanceGoal
+
+
+@dataclass(frozen=True)
+class AdaptiveBound:
+    """The Section-5 lower bound ``cost(R', v) + [cost(R, g) - cost(R, v)]``.
+
+    ``cost(R', v)`` is the node's partial cost under the new goal (already part
+    of the node); ``cost(R, v)`` is re-evaluated under the old goal using the
+    node's lightweight outcomes.  A frozen dataclass rather than a closure so
+    the bound can cross process boundaries when retraining runs in parallel.
+    """
+
+    old_goal: PerformanceGoal
+    old_optimal_cost: float
+
+    def __call__(self, node: SearchNode) -> float:
+        old_partial = node.infra_cost + self.old_goal.penalty(node.outcomes)
+        return node.partial_cost + max(0.0, self.old_optimal_cost - old_partial)
 
 
 @dataclass
@@ -82,34 +106,36 @@ class AdaptiveModeler:
         total_expansions = 0
 
         solved = {self._freeze(s.template_counts): s for s in self._base.samples}
-        for workload in self._base.workloads:
-            key = self._freeze(dict(workload.template_counts()))
-            old_solution = solved.get(key)
-            problem = SchedulingProblem.for_workload(
-                workload, self._generator.vm_types, new_goal, self._generator.latency_model
-            )
+        solver = SampleSolver(
+            vm_types=self._generator.vm_types,
+            goal=new_goal,
+            latency_model=self._generator.latency_model,
+            extractor=extractor,
+            max_expansions=self._generator.config.max_expansions,
+        )
+        tasks = []
+        for index, workload in enumerate(self._base.workloads):
             extra_bound = None
-            if use_adaptive_bound and old_solution is not None:
-                extra_bound = self._adaptive_bound(old_goal, old_solution.optimal_cost)
-            try:
-                examples, result = collect_examples(
-                    problem,
-                    extractor,
-                    max_expansions=self._generator.config.max_expansions,
-                    extra_lower_bound=extra_bound,
-                )
-            except SearchBudgetExceeded:
+            if use_adaptive_bound:
+                old_solution = solved.get(self._freeze(dict(workload.template_counts())))
+                if old_solution is not None:
+                    extra_bound = self._adaptive_bound(
+                        old_goal, old_solution.optimal_cost
+                    )
+            tasks.append((index, workload, extra_bound))
+        # The re-searches are as independent as fresh training solves, so they
+        # fan out across the same worker pool (deterministic sample order).
+        payloads = solve_samples(
+            solver, tasks, self._generator.config.effective_n_jobs()
+        )
+        for payload in payloads:
+            if payload is None:
                 skipped += 1
                 continue
+            examples, solution = payload
             training_set.extend(examples)
-            total_expansions += result.expansions
-            samples.append(
-                SampleSolution(
-                    template_counts=dict(workload.template_counts()),
-                    optimal_cost=result.cost,
-                    expansions=result.expansions,
-                )
-            )
+            total_expansions += solution.expansions
+            samples.append(solution)
 
         if not len(training_set):
             raise TrainingError(
@@ -161,16 +187,6 @@ class AdaptiveModeler:
         return new_goal.deadline <= old_goal.deadline
 
     @staticmethod
-    def _adaptive_bound(old_goal: PerformanceGoal, old_optimal_cost: float):
-        """The Section-5 lower bound ``cost(R', v) + [cost(R, g) - cost(R, v)]``.
-
-        ``cost(R', v)`` is the node's partial cost under the new goal (already
-        part of the node); ``cost(R, v)`` is re-evaluated under the old goal
-        using the node's lightweight outcomes.
-        """
-
-        def bound(node: SearchNode) -> float:
-            old_partial = node.infra_cost + old_goal.penalty(node.outcomes)
-            return node.partial_cost + max(0.0, old_optimal_cost - old_partial)
-
-        return bound
+    def _adaptive_bound(old_goal: PerformanceGoal, old_optimal_cost: float) -> AdaptiveBound:
+        """The improved adaptive-A* heuristic for one stored sample (picklable)."""
+        return AdaptiveBound(old_goal=old_goal, old_optimal_cost=old_optimal_cost)

@@ -76,6 +76,13 @@ class TrainingConfig:
         Decision-tree regularisation: minimum training examples per leaf.
     max_depth:
         Decision-tree regularisation: maximum tree depth.
+    n_jobs:
+        Worker processes used to solve the sample workloads (the paper notes
+        the per-sample A* searches are embarrassingly parallel).  ``1`` solves
+        sequentially in-process; ``-1`` — or any other value below 1 — uses
+        every available CPU (there is no joblib-style ``-2`` = "all but one"
+        convention).  Results are merged in sample order, so training output
+        is bit-identical for every ``n_jobs`` value.
     """
 
     num_samples: int = 3000
@@ -84,6 +91,7 @@ class TrainingConfig:
     max_expansions: int | None = 2_000_000
     min_samples_leaf: int = 5
     max_depth: int = 30
+    n_jobs: int = 1
 
     @classmethod
     def paper(cls, seed: int = 0) -> "TrainingConfig":
@@ -121,3 +129,15 @@ class TrainingConfig:
     def with_seed(self, seed: int) -> "TrainingConfig":
         """Return a copy with a different sampling seed."""
         return replace(self, seed=seed)
+
+    def with_n_jobs(self, n_jobs: int) -> "TrainingConfig":
+        """Return a copy with a different worker-process count."""
+        return replace(self, n_jobs=n_jobs)
+
+    def effective_n_jobs(self) -> int:
+        """The resolved worker count (every value below 1 means "all CPUs")."""
+        if self.n_jobs > 0:
+            return self.n_jobs
+        import os
+
+        return max(1, os.cpu_count() or 1)

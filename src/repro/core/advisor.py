@@ -45,11 +45,20 @@ class WiSeDBAdvisor:
         vm_types: VMTypeCatalog | None = None,
         latency_model: LatencyModel | None = None,
         config: TrainingConfig | None = None,
+        n_jobs: int | None = None,
     ) -> None:
+        """``n_jobs`` overrides the training configuration's worker count.
+
+        Training (and adaptive retraining) solves its sample workloads across
+        that many processes; ``-1`` uses every CPU.  Output is bit-identical
+        for any value, so this is purely a wall-clock knob.
+        """
         self._templates = templates
         self._vm_types = vm_types or single_vm_type_catalog()
         self._latency_model = latency_model or TemplateLatencyModel(templates)
         self._config = config or TrainingConfig.fast()
+        if n_jobs is not None:
+            self._config = self._config.with_n_jobs(n_jobs)
         self._generator = ModelGenerator(
             templates=templates,
             vm_types=self._vm_types,

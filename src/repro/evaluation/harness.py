@@ -83,14 +83,21 @@ def build_environment(
     config: TrainingConfig | None = None,
     latency_model: LatencyModel | None = None,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> ExperimentEnvironment:
-    """Train a model for one of the paper's default goals and wrap it up."""
+    """Train a model for one of the paper's default goals and wrap it up.
+
+    ``n_jobs`` overrides the configuration's worker count for the training
+    solves (bit-identical output, parallel wall clock).
+    """
     from repro.workloads.templates import tpch_templates
 
     templates = templates or tpch_templates(num_templates)
     vm_types = vm_types or single_vm_type_catalog()
     latency_model = latency_model or TemplateLatencyModel(templates)
     config = config or TrainingConfig.fast(seed=seed)
+    if n_jobs is not None:
+        config = config.with_n_jobs(n_jobs)
     goal = default_goal(goal_kind, templates)
     generator = ModelGenerator(
         templates=templates,
@@ -211,13 +218,20 @@ def measure_training_time(
     vm_types: VMTypeCatalog | None = None,
     config: TrainingConfig | None = None,
     seed: int = 0,
+    n_jobs: int | None = None,
 ) -> tuple[float, TrainingResult]:
-    """Wall-clock training time for a given specification size."""
+    """Wall-clock training time for a given specification size.
+
+    ``n_jobs`` fans the per-sample solves across worker processes (Figures
+    14-15 measure exactly this wall clock; the schedule output is unchanged).
+    """
     from repro.workloads.templates import tpch_templates
 
     templates = tpch_templates(num_templates)
     vm_types = vm_types or single_vm_type_catalog()
     config = config or TrainingConfig.fast(seed=seed)
+    if n_jobs is not None:
+        config = config.with_n_jobs(n_jobs)
     generator = ModelGenerator(
         templates=templates, vm_types=vm_types, config=config
     )

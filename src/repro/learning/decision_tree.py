@@ -63,6 +63,21 @@ def _entropy(counts: np.ndarray) -> float:
     return float(-(probabilities * np.log2(probabilities)).sum())
 
 
+def _entropy_rows(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Shannon entropy (bits) of each row of a (rows, classes) count matrix.
+
+    Vectorised counterpart of :func:`_entropy` used by the split search: one
+    call scores every candidate boundary of a feature instead of one numpy
+    round-trip per boundary.  Zero-count entries contribute exactly 0 to the
+    row sums, matching the scalar version's filtered computation.
+    """
+    probabilities = counts / totals[:, None]
+    terms = np.zeros_like(probabilities)
+    mask = counts > 0
+    terms[mask] = probabilities[mask] * np.log2(probabilities[mask])
+    return -terms.sum(axis=1)
+
+
 class DecisionTreeClassifier:
     """C4.5-style classifier over numeric features and string labels."""
 
@@ -148,6 +163,8 @@ class DecisionTreeClassifier:
             return None
         total = encoded.size
         n_classes = len(self._classes)
+        min_leaf = self._min_samples_leaf
+        row_indices = np.arange(total)
         best: tuple[float, float, int, float] | None = None  # (gain_ratio, gain, feat, thr)
 
         for feature_index in range(matrix.shape[1]):
@@ -165,29 +182,68 @@ class DecisionTreeClassifier:
                 picks = (np.arange(_MAX_THRESHOLDS) * step).astype(int)
                 boundaries = boundaries[picks]
 
-            one_hot = np.zeros((total, n_classes), dtype=float)
-            one_hot[np.arange(total), sorted_labels] = 1.0
-            prefix = np.cumsum(one_hot, axis=0)
+            left_sizes = boundaries + 1
+            right_sizes = total - left_sizes
+            admissible = (left_sizes >= min_leaf) & (right_sizes >= min_leaf)
+            if not admissible.any():
+                continue
+            boundaries = boundaries[admissible]
+            left_sizes = left_sizes[admissible]
+            right_sizes = right_sizes[admissible]
 
-            for boundary in boundaries:
-                left_size = boundary + 1
-                right_size = total - left_size
-                if left_size < self._min_samples_leaf or right_size < self._min_samples_leaf:
-                    continue
-                left_counts = prefix[boundary]
-                right_counts = counts - left_counts
-                gain = parent_entropy - (
-                    left_size / total * _entropy(left_counts)
-                    + right_size / total * _entropy(right_counts)
-                )
-                if gain <= self._min_gain:
-                    continue
-                split_info = _entropy(np.asarray([left_size, right_size], dtype=float))
-                gain_ratio = gain / split_info if split_info > 0 else gain
-                threshold = (sorted_values[boundary] + sorted_values[boundary + 1]) / 2.0
-                candidate = (gain_ratio, gain, feature_index, float(threshold))
-                if best is None or candidate[:2] > best[:2]:
-                    best = candidate
+            # Per-boundary class counts via a segmented bincount: bucket k holds
+            # the rows between boundaries k-1 and k, so a cumulative sum over
+            # the (num_boundaries, num_classes) bucket matrix yields every
+            # boundary's left-side counts without materialising an
+            # (examples, classes) one-hot prefix per feature.
+            num_boundaries = boundaries.size
+            segments = np.searchsorted(boundaries, row_indices, side="left")
+            buckets = np.bincount(
+                segments * n_classes + sorted_labels,
+                minlength=(num_boundaries + 1) * n_classes,
+            ).reshape(num_boundaries + 1, n_classes)
+            left_counts = np.cumsum(buckets[:num_boundaries], axis=0)
+            right_counts = counts - left_counts
+            gains = parent_entropy - (
+                left_sizes / total * _entropy_rows(left_counts, left_sizes.astype(float))
+                + right_sizes
+                / total
+                * _entropy_rows(right_counts, right_sizes.astype(float))
+            )
+            useful = gains > self._min_gain
+            if not useful.any():
+                continue
+            boundaries = boundaries[useful]
+            gains = gains[useful]
+            left_fraction = left_sizes[useful] / total
+            right_fraction = right_sizes[useful] / total
+            # Both sides are non-empty, so the split information is positive.
+            split_info = -(
+                left_fraction * np.log2(left_fraction)
+                + right_fraction * np.log2(right_fraction)
+            )
+            gain_ratios = gains / split_info
+
+            # First boundary with the lexicographically largest (ratio, gain),
+            # matching the sequential loop's strict-improvement order.
+            top = np.nonzero(gain_ratios == gain_ratios.max())[0]
+            pick = top[int(np.argmax(gains[top]))]
+            boundary = int(boundaries[pick])
+
+            left_value = float(sorted_values[boundary])
+            right_value = float(sorted_values[boundary + 1])
+            threshold = (left_value + right_value) / 2.0
+            if not (left_value <= threshold < right_value):
+                # The midpoint of adjacent distinct values can collapse onto the
+                # right value (denormal underflow: mean(-5e-324, 0.0) == -0.0,
+                # and 0.0 <= -0.0 is True) or escape the interval entirely
+                # (overflow to ±inf).  A ``<= threshold`` test must keep the
+                # left value on the left and the right value on the right, and
+                # the left value itself always satisfies that.
+                threshold = left_value
+            candidate = (float(gain_ratios[pick]), float(gains[pick]), feature_index, threshold)
+            if best is None or candidate[:2] > best[:2]:
+                best = candidate
 
         if best is None:
             return None

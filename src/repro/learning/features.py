@@ -21,6 +21,7 @@ identical representation in both phases.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Mapping
 
 from repro.cloud.vm import VMTypeCatalog
@@ -82,6 +83,14 @@ class FeatureExtractor:
         self._vm_types = vm_types
         self._families = tuple(families)
         self._feature_names = self._build_feature_names()
+        # Supports-X only depends on the VM type, so resolve the whole row once
+        # per type instead of one supports() call per template per extraction.
+        self._supports_rows: dict[str, tuple[float, ...]] = {
+            vm_type.name: tuple(
+                1.0 if vm_type.supports(name) else 0.0 for name in templates.names
+            )
+            for vm_type in vm_types
+        }
 
     def _build_feature_names(self) -> tuple[str, ...]:
         names: list[str] = []
@@ -114,32 +123,50 @@ class FeatureExtractor:
         return self._templates
 
     def extract(self, node: SearchNode, problem: SchedulingProblem) -> dict[str, float]:
-        """The feature vector of *node* within *problem* (name → value)."""
+        """The feature vector of *node* within *problem* (name → value).
+
+        The per-template loop leans on precomputed state — the supports row of
+        the most recent VM's type, a single queue histogram for the
+        proportion-of-X family, and the problem's O(1)/O(log n) incremental
+        ``placement_edge_cost`` — so extraction cost no longer scales with the
+        number of queries already placed.
+        """
         features: dict[str, float] = {}
+        families = self._families
         last = node.state.last_vm()
         last_queue: tuple[str, ...] = last[1] if last is not None else ()
         queue_length = len(last_queue)
-        vm_type = self._vm_types[last[0]] if last is not None else None
 
-        if "wait_time" in self._families:
+        if "wait_time" in families:
             features[wait_time_feature()] = node.last_vm_finish
 
-        for template in self._templates.names:
-            if "proportion_of" in self._families:
-                if queue_length:
-                    proportion = last_queue.count(template) / queue_length
+        proportions = "proportion_of" in families
+        queue_counts = Counter(last_queue) if proportions and queue_length else None
+        supports = "supports" in families
+        supports_row = (
+            self._supports_rows[last[0]] if supports and last is not None else None
+        )
+        cost_of = "cost_of" in families
+        have = "have" in families
+        inf = float("inf")
+
+        for index, template in enumerate(self._templates.names):
+            if proportions:
+                if queue_counts is not None:
+                    proportion = queue_counts.get(template, 0) / queue_length
                 else:
                     proportion = 0.0
                 features[proportion_feature(template)] = proportion
-            if "supports" in self._families:
-                supported = vm_type is not None and vm_type.supports(template)
-                features[supports_feature(template)] = 1.0 if supported else 0.0
-            if "cost_of" in self._families:
+            if supports:
+                features[supports_feature(template)] = (
+                    supports_row[index] if supports_row is not None else 0.0
+                )
+            if cost_of:
                 cost = problem.placement_edge_cost(node, template)
-                if cost == float("inf"):
+                if cost == inf:
                     cost = INFEASIBLE_COST
                 features[cost_feature(template)] = cost
-            if "have" in self._families:
+            if have:
                 features[have_feature(template)] = (
                     1.0 if node.state.has_remaining(template) else 0.0
                 )

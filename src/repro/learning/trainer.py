@@ -14,6 +14,19 @@ The returned :class:`TrainingResult` keeps the training set and the per-sample
 solutions so that the adaptive-modeling machinery (Section 5) can re-derive
 models for stricter goals without re-generating workloads or re-searching from
 scratch.
+
+Parallel training
+-----------------
+
+The per-sample A* solves are embarrassingly parallel (each sample's scheduling
+graph is independent), so step 2 fans out across worker processes when
+:attr:`~repro.config.TrainingConfig.n_jobs` is not 1.  Each worker receives the
+full specification once (via the pool initializer) and solves ``(index,
+workload)`` tasks; the driver reassembles results **in sample order**, so the
+training set, the fitted tree, and every downstream artefact are bit-identical
+for any ``n_jobs`` value (asserted by the determinism tests).  Environments
+where process pools are unavailable fall back to the sequential path
+transparently.
 """
 
 from __future__ import annotations
@@ -83,6 +96,134 @@ def collect_examples(
         for node, action in result.decisions()
     ]
     return examples, result
+
+
+class SampleSolver:
+    """Solves one training sample: everything a worker process needs, pickled once.
+
+    Instances are shipped to each pool worker through the initializer (not per
+    task), so the specification — VM catalogue, goal, latency model, feature
+    extractor — crosses the process boundary a single time.  ``extra_bound``
+    optionally carries a picklable admissible-bound callable (the adaptive-A*
+    hook of Section 5).
+    """
+
+    def __init__(
+        self,
+        vm_types: VMTypeCatalog,
+        goal: PerformanceGoal,
+        latency_model: LatencyModel,
+        extractor: FeatureExtractor,
+        max_expansions: int | None,
+    ) -> None:
+        self.vm_types = vm_types
+        self.goal = goal
+        self.latency_model = latency_model
+        self.extractor = extractor
+        self.max_expansions = max_expansions
+
+    def solve(
+        self,
+        workload: Workload,
+        extra_bound: Callable[[SearchNode], float] | None = None,
+    ) -> tuple[list[TrainingExample], SampleSolution] | None:
+        """Optimal examples and solution for one sample (None = budget exceeded)."""
+        problem = SchedulingProblem.for_workload(
+            workload, self.vm_types, self.goal, self.latency_model
+        )
+        try:
+            examples, result = collect_examples(
+                problem,
+                self.extractor,
+                max_expansions=self.max_expansions,
+                extra_lower_bound=extra_bound,
+            )
+        except SearchBudgetExceeded:
+            return None
+        solution = SampleSolution(
+            template_counts=dict(workload.template_counts()),
+            optimal_cost=result.cost,
+            expansions=result.expansions,
+        )
+        return examples, solution
+
+
+#: Per-process solver installed by the pool initializer.
+_WORKER_SOLVER: SampleSolver | None = None
+
+
+def _init_worker(solver: SampleSolver) -> None:
+    global _WORKER_SOLVER
+    _WORKER_SOLVER = solver
+
+
+def _solve_indexed(task):
+    """Pool task: ``(index, workload[, extra_bound])`` → ``(index, payload)``."""
+    index, workload = task[0], task[1]
+    extra_bound = task[2] if len(task) > 2 else None
+    assert _WORKER_SOLVER is not None  # installed by _init_worker
+    return index, _WORKER_SOLVER.solve(workload, extra_bound)
+
+
+def solve_samples(
+    solver: SampleSolver,
+    tasks: Sequence[tuple],
+    n_jobs: int,
+) -> list:
+    """Solve ``(index, workload[, extra_bound])`` tasks, returning payloads in task order.
+
+    Fans out across ``n_jobs`` worker processes when possible; any failure to
+    set up multiprocessing (restricted environments, unpicklable custom
+    components) degrades to the sequential path rather than erroring.  The
+    returned list is ordered by task index regardless of completion order, so
+    callers observe bit-identical results for every ``n_jobs``.
+    """
+    results: list = [None] * len(tasks)
+    if n_jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            workers = min(n_jobs, len(tasks))
+            chunksize = max(1, len(tasks) // (workers * 4))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(solver,),
+            ) as pool:
+                for index, payload in pool.map(
+                    _solve_indexed, tasks, chunksize=chunksize
+                ):
+                    results[index] = payload
+            return results
+        except (  # pragma: no cover - depends on host capabilities
+            OSError,
+            pickle.PicklingError,
+            # CPython raises TypeError (locks, sockets, most C objects) or
+            # AttributeError (failed lookups) for many unpicklable values
+            # rather than PicklingError.
+            TypeError,
+            AttributeError,
+            BrokenProcessPool,
+        ):
+            # Pool setup / transport failures only (no fork, unpicklable
+            # specification components, workers killed): degrade to the
+            # sequential path.  Other deterministic errors raised by solve()
+            # propagate — re-solving thousands of samples sequentially just to
+            # rediscover them would silently burn the whole training budget.
+            results = [None] * len(tasks)
+    for task in tasks:
+        index, workload = task[0], task[1]
+        extra_bound = task[2] if len(task) > 2 else None
+        results[index] = solver.solve(workload, extra_bound)
+    return results
 
 
 class ModelGenerator:
@@ -160,25 +301,26 @@ class ModelGenerator:
         samples: list[SampleSolution] = []
         skipped = 0
         search_start = time.perf_counter()
-        for workload in workloads:
-            problem = SchedulingProblem.for_workload(
-                workload, self._vm_types, goal, self._latency_model
-            )
-            try:
-                examples, result = collect_examples(
-                    problem, self._extractor, max_expansions=self._config.max_expansions
-                )
-            except SearchBudgetExceeded:
+        solver = SampleSolver(
+            vm_types=self._vm_types,
+            goal=goal,
+            latency_model=self._latency_model,
+            extractor=self._extractor,
+            max_expansions=self._config.max_expansions,
+        )
+        payloads = solve_samples(
+            solver,
+            [(index, workload) for index, workload in enumerate(workloads)],
+            self._config.effective_n_jobs(),
+        )
+        # Merge in sample order: training output is identical for any n_jobs.
+        for payload in payloads:
+            if payload is None:
                 skipped += 1
                 continue
+            examples, solution = payload
             training_set.extend(examples)
-            samples.append(
-                SampleSolution(
-                    template_counts=dict(workload.template_counts()),
-                    optimal_cost=result.cost,
-                    expansions=result.expansions,
-                )
-            )
+            samples.append(solution)
         search_time = time.perf_counter() - search_start
 
         if not len(training_set):

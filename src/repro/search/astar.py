@@ -101,36 +101,49 @@ def astar_search(
             priority = max(priority, extra_lower_bound(node))
         return priority
 
-    def frontier_key(priority: float, node: SearchNode, order: int) -> tuple:
-        # The cost landscape contains large plateaus (many partial schedules
-        # share the same lower bound), so ties are broken towards vertices with
-        # fewer unassigned queries and, within those, towards the most recently
-        # generated vertex (LIFO).  Tie-breaking never affects optimality —
-        # the first goal vertex popped still has the minimum f-value — but it
-        # turns plateau exploration into a dive towards a goal.
-        return (priority, node.state.remaining_total(), -order, node.depth)
-
-    frontier: list[tuple] = [(frontier_key(priority_of(start), start, counter), start)]
+    # Frontier keys: the cost landscape contains large plateaus (many partial
+    # schedules share the same lower bound), so ties are broken towards
+    # vertices with fewer unassigned queries and, within those, towards the
+    # most recently generated vertex (LIFO).  Tie-breaking never affects
+    # optimality — the first goal vertex popped still has the minimum f-value —
+    # but it turns plateau exploration into a dive towards a goal.
+    frontier: list[tuple] = [
+        ((priority_of(start), start.state.remaining_total(), 0, start.depth), start)
+    ]
     visited: set[SearchState] = set()
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    expand = problem.expand
+    budget = float("inf") if max_expansions is None else max_expansions
+    plain = extra_lower_bound is None
 
     while frontier:
-        _, node = heapq.heappop(frontier)
-        if node.state in visited:
+        _, node = heappop(frontier)
+        state = node.state
+        if state in visited:
             continue
-        visited.add(node.state)
+        visited.add(state)
 
-        if node.state.is_goal():
+        if not state.remaining:
             return SearchResult(goal_node=node, expansions=expansions, generated=generated)
 
         expansions += 1
-        if max_expansions is not None and expansions > max_expansions:
+        if expansions > budget:
             raise SearchBudgetExceeded(expansions)
 
-        for child in problem.expand(node):
-            if child.state in visited:
+        for child in expand(node):
+            child_state = child.state
+            if child_state in visited:
                 continue
             counter += 1
             generated += 1
-            heapq.heappush(frontier, (frontier_key(priority_of(child), child, counter), child))
+            priority = child.priority if plain else priority_of(child)
+            heappush(
+                frontier,
+                (
+                    (priority, child_state.remaining_total(), -counter, child.depth),
+                    child,
+                ),
+            )
 
     raise SearchError("the scheduling graph contains no reachable goal vertex")

@@ -17,40 +17,102 @@
 Nodes fully determine their partial schedule, so the best goal vertex found by
 the search is the minimum-cost complete schedule regardless of the path taken
 to reach it.
+
+Hot-path architecture
+---------------------
+
+The search core is built around *incremental state* and *precomputed tables*
+so that the per-vertex work is O(1)-ish rather than proportional to the number
+of queries already placed:
+
+* **Incremental penalties.**  Every :class:`SearchNode` carries a copy-on-write
+  :class:`~repro.sla.accumulators.ViolationAccumulator` (obtained from
+  :meth:`~repro.sla.base.PerformanceGoal.search_accumulator`) describing its
+  partial schedule.  A placement edge branches the parent's accumulator and
+  records one completion, so node penalties and Equation-2 edge weights are
+  O(1)/O(log n) deltas instead of ``goal.penalty(outcomes)`` scans over the
+  whole outcome tuple (which made each optimal path quadratic).
+* **Interned ids and dense tables.**  Template names and VM type names are
+  interned to integer ids at problem construction, and per-``(vm, template)``
+  latency, execution-cost, and supports tables are precomputed, so ``expand``,
+  ``_place``, and the dominance checks stop doing string-keyed dict walks and
+  attribute lookups per node.  Each node caches the integer id of its most
+  recent VM.
+* **Memoized remaining-work terms.**  The Equation-3 heuristic and the
+  provisioning-bound work terms depend only on the *remaining* multiset, which
+  the search revisits constantly, so they are memoized per multiset.  (A
+  parent-minus-placed-contribution running value would also be O(1), but
+  floating-point subtraction is inexact and would perturb tie-breaking;
+  memoization keeps every f-value bit-identical to a fresh evaluation.)
+
+The accumulators agree with the batch :meth:`PerformanceGoal.penalty`
+definition bit-for-bit (property-tested across all four goal kinds), so
+optimal costs and chosen schedules are unchanged.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, NamedTuple, Sequence
 
 from repro.cloud.latency import LatencyModel
 from repro.cloud.vm import VMTypeCatalog
 from repro.exceptions import SpecificationError
 from repro.search.actions import Action, PlaceQuery, ProvisionVM
 from repro.search.state import SearchState, freeze_counts
+from repro.sla.accumulators import ViolationAccumulator
 from repro.sla.base import PerformanceGoal
 from repro.workloads.templates import TemplateSet
 from repro.workloads.workload import Workload
 
+_INF = float("inf")
 
-@dataclass(frozen=True)
-class LatencyOutcome:
+
+def _min_provisioning_cost(
+    overflow: float, capacity: float, min_startup: float, rate: float
+) -> float:
+    """min over k of ``k * min_startup + rate * max(0, overflow - k * capacity)``.
+
+    The inner loop of the deadline-goal provisioning bound, shared by
+    :meth:`SchedulingProblem.provisioning_bound` and the two f-value blocks
+    inlined in :meth:`SchedulingProblem.expand` so the three sites cannot
+    drift apart (the search's bit-identical f-values depend on them agreeing).
+    Callers guarantee ``overflow > 0`` and ``capacity > 0``.
+    """
+    best = _INF
+    for new_vms in range(int(overflow // capacity) + 2):
+        unplaced = overflow - new_vms * capacity
+        cost = new_vms * min_startup + rate * (unplaced if unplaced > 0.0 else 0.0)
+        if cost < best:
+            best = cost
+    return best
+
+
+class LatencyOutcome(NamedTuple):
     """Lightweight per-query outcome used while searching partial schedules.
 
     Only the two attributes the SLA classes read (``template_name`` and
     ``latency``) are carried; building full :class:`~repro.core.outcome.QueryOutcome`
-    objects for every explored vertex would dominate the search time.
+    objects for every explored vertex would dominate the search time.  A named
+    tuple rather than a dataclass: one is built per placement edge, and tuple
+    construction is several times cheaper than a frozen-dataclass ``__init__``.
     """
 
     template_name: str
     latency: float
 
 
-@dataclass
+@dataclass(slots=True)
 class SearchNode:
-    """A vertex plus the incremental bookkeeping the search needs."""
+    """A vertex plus the incremental bookkeeping the search needs.
+
+    ``accumulator`` tracks the partial schedule's violation period
+    incrementally (see the module docstring); ``last_vm_index`` caches the
+    interned id of the most recent VM's type so successor generation does not
+    re-resolve it.  Both default to their "absent" values so lightweight
+    runtime contexts (e.g. the batch scheduler) can build nodes without them.
+    """
 
     state: SearchState
     parent: "SearchNode | None"
@@ -61,6 +123,12 @@ class SearchNode:
     last_vm_finish: float
     depth: int
     priority: float = field(default=0.0)
+    accumulator: ViolationAccumulator | None = field(default=None)
+    last_vm_index: int = field(default=-1)
+    #: Cached non-monotonic future-cost term of the f-value (-1.0 = not
+    #: computed).  Provision edges keep (outcomes, remaining) unchanged, so
+    #: their children reuse the parent's term without rebuilding the memo key.
+    future_bound: float = field(default=-1.0)
 
     @property
     def partial_cost(self) -> float:
@@ -98,7 +166,68 @@ class SchedulingProblem:
         self._vm_types = vm_types
         self._goal = goal
         self._latency_model = latency_model
+        self._build_tables()
         self._cheapest_execution = self._compute_cheapest_execution()
+        #: remaining multiset -> (Equation-3 bound, cheapest remaining work time)
+        self._bounds_cache: dict[tuple[tuple[str, int], ...], tuple[float, float]] = {}
+        #: remaining multiset -> per-query latency lower bounds (non-monotonic goals)
+        self._latency_bounds_cache: dict[tuple[tuple[str, int], ...], list[float]] = {}
+        #: (remaining multiset, assigned-latency key) -> future-cost lower bound
+        self._future_cost_cache: dict[tuple, float] = {}
+        #: Whether the goal's bound may be memoised per assigned-latency *multiset*
+        #: (bit-identical under permutation) rather than per exact sequence.
+        self._future_bound_order_invariant = bool(
+            getattr(goal, "future_bound_order_invariant", False)
+        )
+
+    # -- precomputed tables --------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        """Intern names to integer ids and precompute dense per-(vm, template) tables."""
+        self._tpl_names: tuple[str, ...] = self._templates.names
+        self._tpl_id: dict[str, int] = {
+            name: index for index, name in enumerate(self._tpl_names)
+        }
+        self._vm_names: tuple[str, ...] = self._vm_types.names
+        self._vm_id: dict[str, int] = {
+            name: index for index, name in enumerate(self._vm_names)
+        }
+        self._startup_costs: list[float] = []
+        self._supports_table: list[list[bool]] = []
+        self._latency_table: list[list[float]] = []
+        self._run_cost_table: list[list[float]] = []
+        for vm_type in self._vm_types:
+            self._startup_costs.append(vm_type.startup_cost)
+            supports_row: list[bool] = []
+            latency_row: list[float] = []
+            run_cost_row: list[float] = []
+            for name in self._tpl_names:
+                if vm_type.supports(name):
+                    latency = self._latency_model.latency(name, vm_type)
+                    supports_row.append(True)
+                    latency_row.append(latency)
+                    run_cost_row.append(vm_type.running_cost * latency)
+                else:
+                    supports_row.append(False)
+                    latency_row.append(_INF)
+                    run_cost_row.append(_INF)
+            self._supports_table.append(supports_row)
+            self._latency_table.append(latency_row)
+            self._run_cost_table.append(run_cost_row)
+        self._rate = self._goal.penalty_rate
+        self._is_monotonic = bool(self._goal.is_monotonic)
+        #: Per-template deadline (or None), resolved once instead of per vertex.
+        self._query_deadlines: list[float | None] = [
+            self._goal.query_deadline(name) for name in self._tpl_names
+        ]
+        # Actions are immutable value objects, so one shared instance per
+        # template / VM type avoids a frozen-dataclass __init__ per child.
+        self._place_actions: list[PlaceQuery] = [
+            PlaceQuery(name) for name in self._tpl_names
+        ]
+        self._provision_actions: list[ProvisionVM] = [
+            ProvisionVM(name) for name in self._vm_names
+        ]
 
     # -- constructors -----------------------------------------------------------
 
@@ -160,6 +289,7 @@ class SchedulingProblem:
             outcomes=(),
             last_vm_finish=0.0,
             depth=0,
+            accumulator=self._goal.search_accumulator(),
         )
         node.priority = self.priority(node)
         return node
@@ -167,33 +297,15 @@ class SchedulingProblem:
     # -- successor generation (with the Section 4.3 reductions) ---------------------
 
     def expand(self, node: SearchNode) -> list[SearchNode]:
-        """All successor nodes of *node* in the reduced scheduling graph."""
-        successors: list[SearchNode] = []
-        state = node.state
-        last = state.last_vm()
+        """All successor nodes of *node* in the reduced scheduling graph.
 
-        # Placement edges: only onto the most recently provisioned VM.
-        if last is not None:
-            vm_type = self._vm_types[last[0]]
-            for template_name in state.remaining_templates():
-                if not vm_type.supports(template_name):
-                    continue
-                if not self._placement_respects_ordering(node, template_name):
-                    continue
-                successors.append(self._place(node, template_name))
-
-        # Start-up edges: only when the last VM is non-empty (or none exists),
-        # and only if there is still work to assign.
-        if state.remaining and not state.last_vm_is_empty():
-            for vm_type in self._vm_types:
-                successors.append(self._provision(node, vm_type.name))
-        return successors
-
-    def _placement_respects_ordering(self, node: SearchNode, template_name: str) -> bool:
-        """Third graph reduction: dominance pruning of redundant queue orders.
-
-        Two complementary rules, both of which keep at least one optimal goal
-        vertex reachable:
+        This is the innermost loop of the A* search: every lookup table is
+        hoisted into locals and the per-child work — the dominance pruning of
+        queue orders, the incremental penalty update, and the child's f-value
+        — is inlined rather than dispatched through helper methods.  The
+        inlined f-value computation mirrors :meth:`priority` (kept in sync;
+        the property-based search tests compare the two) and the dominance
+        rules are documented there:
 
         * **Adjacent pairwise interchange** (deadline-style goals): swapping
           the candidate with the query most recently placed on the same VM
@@ -204,75 +316,209 @@ class SchedulingProblem:
           within :meth:`PerformanceGoal.ordering_horizon`, query order cannot
           affect the penalty at all, so only the canonical order is explored.
         """
-        last = node.state.last_vm()
-        assert last is not None
-        queue = last[1]
-        if not queue:
-            return True
-        vm_type = self._vm_types[last[0]]
-        previous = queue[-1]
-        execution_time = self._latency_model.latency(template_name, vm_type)
-        previous_execution = self._latency_model.latency(previous, vm_type)
-        previous_key = (previous_execution, previous)
-        candidate_key = (execution_time, template_name)
+        successors: list[SearchNode] = []
+        state = node.state
+        vms = state.vms
+        remaining = state.remaining
+        depth = node.depth + 1
+        parent_infra = node.infra_cost
+        parent_accumulator = node.accumulator
+        parent_remaining_total = state.remaining_total()
+        monotonic = self._is_monotonic
+        rate = self._rate
+        capacity = self._capacity_deadline
+        min_startup = self._min_startup_cost
+        new_state = SearchState.__new__
+        state_cls = SearchState
+        set_attr = object.__setattr__
 
-        previous_deadline = self._goal.query_deadline(previous)
-        candidate_deadline = self._goal.query_deadline(template_name)
-        if previous_deadline is not None and candidate_deadline is not None:
-            start = node.last_vm_finish - previous_execution
-            pair_total = previous_execution + execution_time
-            current_violation = max(0.0, node.last_vm_finish - previous_deadline) + max(
-                0.0, start + pair_total - candidate_deadline
-            )
-            swapped_violation = max(0.0, start + execution_time - candidate_deadline) + max(
-                0.0, start + pair_total - previous_deadline
-            )
-            if swapped_violation < current_violation - 1e-9:
-                return False
-            if abs(swapped_violation - current_violation) <= 1e-9:
-                return candidate_key >= previous_key
-            return True
+        # Placement edges: only onto the most recently provisioned VM.
+        if vms:
+            last_vm_type_name, queue = vms[-1]
+            vm_index = node.last_vm_index
+            if vm_index < 0:
+                vm_index = self._vm_id[last_vm_type_name]
+            tpl_id = self._tpl_id
+            supports_row = self._supports_table[vm_index]
+            latency_row = self._latency_table[vm_index]
+            run_cost_row = self._run_cost_table[vm_index]
+            query_deadlines = self._query_deadlines
+            place_actions = self._place_actions
+            finish = node.last_vm_finish
+            if queue:
+                previous = queue[-1]
+                previous_index = tpl_id[previous]
+                previous_execution = latency_row[previous_index]
+                previous_deadline = query_deadlines[previous_index]
+            else:
+                previous = None
+                previous_execution = previous_deadline = 0.0
 
-        completion = node.last_vm_finish + execution_time
-        horizon = self._goal.ordering_horizon(queue, template_name)
-        if completion > horizon:
-            return True
-        return candidate_key >= previous_key
+            for template_name, _ in remaining:
+                template_index = tpl_id[template_name]
+                if not supports_row[template_index]:
+                    continue
+                execution_time = latency_row[template_index]
 
-    def _provision(self, node: SearchNode, vm_type_name: str) -> SearchNode:
-        vm_type = self._vm_types[vm_type_name]
-        child = SearchNode(
-            state=node.state.with_new_vm(vm_type_name),
-            parent=node,
-            action=ProvisionVM(vm_type_name),
-            infra_cost=node.infra_cost + vm_type.startup_cost,
-            penalty=node.penalty,
-            outcomes=node.outcomes,
-            last_vm_finish=0.0,
-            depth=node.depth + 1,
-        )
-        child.priority = self.priority(child)
-        return child
+                # -- dominance pruning of redundant queue orders ------------------
+                if previous is not None:
+                    candidate_deadline = query_deadlines[template_index]
+                    if previous_deadline is not None and candidate_deadline is not None:
+                        start = finish - previous_execution
+                        pair_total = previous_execution + execution_time
+                        current_violation = max(0.0, finish - previous_deadline) + max(
+                            0.0, start + pair_total - candidate_deadline
+                        )
+                        swapped_violation = max(
+                            0.0, start + execution_time - candidate_deadline
+                        ) + max(0.0, start + pair_total - previous_deadline)
+                        if swapped_violation < current_violation - 1e-9:
+                            continue
+                        if abs(swapped_violation - current_violation) <= 1e-9 and (
+                            execution_time < previous_execution
+                            or (
+                                execution_time == previous_execution
+                                and template_name < previous
+                            )
+                        ):
+                            continue
+                    else:
+                        horizon = self._goal.ordering_horizon(queue, template_name)
+                        if finish + execution_time <= horizon and (
+                            execution_time < previous_execution
+                            or (
+                                execution_time == previous_execution
+                                and template_name < previous
+                            )
+                        ):
+                            continue
 
-    def _place(self, node: SearchNode, template_name: str) -> SearchNode:
-        last = node.state.last_vm()
-        assert last is not None  # guarded by expand()
-        vm_type = self._vm_types[last[0]]
-        execution_time = self._latency_model.latency(template_name, vm_type)
-        completion = node.last_vm_finish + execution_time
-        outcomes = node.outcomes + (LatencyOutcome(template_name, completion),)
-        child = SearchNode(
-            state=node.state.with_placement(template_name),
-            parent=node,
-            action=PlaceQuery(template_name),
-            infra_cost=node.infra_cost + vm_type.running_cost * execution_time,
-            penalty=self._goal.penalty(outcomes),
-            outcomes=outcomes,
-            last_vm_finish=completion,
-            depth=node.depth + 1,
-        )
-        child.priority = self.priority(child)
-        return child
+                # -- the placement child, with its incremental penalty ------------
+                completion = finish + execution_time
+                outcomes = node.outcomes + (LatencyOutcome(template_name, completion),)
+                if parent_accumulator is not None:
+                    accumulator = parent_accumulator.branch()
+                    accumulator.add(template_name, completion)
+                    penalty = rate * accumulator.violation()
+                else:
+                    # Externally built nodes fall back to the batch definition.
+                    accumulator = None
+                    penalty = self._goal.penalty(outcomes)
+                # Successor state, built inline (the validity checks of
+                # SearchState.with_placement are redundant here) with its
+                # remaining-total cache seeded from the parent's.
+                child_state = new_state(state_cls)
+                set_attr(
+                    child_state,
+                    "vms",
+                    vms[:-1] + ((last_vm_type_name, queue + (template_name,)),),
+                )
+                set_attr(
+                    child_state,
+                    "remaining",
+                    tuple(
+                        [
+                            (name, count - 1) if name == template_name else (name, count)
+                            for name, count in remaining
+                            if name != template_name or count > 1
+                        ]
+                    ),
+                )
+                set_attr(child_state, "_remaining_total", parent_remaining_total - 1)
+                infra = parent_infra + run_cost_row[template_index]
+                child = SearchNode(
+                    child_state,
+                    node,
+                    place_actions[template_index],
+                    infra,
+                    penalty,
+                    outcomes,
+                    completion,
+                    depth,
+                    0.0,
+                    accumulator,
+                    vm_index,
+                )
+                # -- inlined f-value (kept in sync with priority()) ---------------
+                child_remaining = child_state.remaining
+                if not child_remaining:
+                    child.priority = infra + penalty
+                else:
+                    bounds = self._bounds_cache.get(child_remaining)
+                    if bounds is None:
+                        bounds = self._compute_remaining_bounds(child_remaining)
+                    bound = infra + bounds[0]
+                    if monotonic:
+                        provisioning = 0.0
+                        if capacity is not None:
+                            slack = capacity - completion
+                            overflow = bounds[1] - (slack if slack > 0.0 else 0.0)
+                            if overflow > 0:
+                                provisioning = _min_provisioning_cost(
+                                    overflow, capacity, min_startup, rate
+                                )
+                        bound += penalty + provisioning
+                    else:
+                        future = self._future_cost_bound(outcomes, child_remaining)
+                        child.future_bound = future
+                        bound += future
+                    child.priority = bound
+                successors.append(child)
+
+        # Start-up edges: only when the last VM is non-empty (or none exists),
+        # and only if there is still work to assign.
+        if remaining and not (vms and not vms[-1][1]):
+            outcomes = node.outcomes
+            penalty = node.penalty
+            bounds = self._bounds_cache.get(remaining)
+            if bounds is None:
+                bounds = self._compute_remaining_bounds(remaining)
+            startup_costs = self._startup_costs
+            provision_actions = self._provision_actions
+            for vm_index, vm_type_name in enumerate(self._vm_names):
+                infra = parent_infra + startup_costs[vm_index]
+                child_state = new_state(state_cls)
+                set_attr(child_state, "vms", vms + ((vm_type_name, ()),))
+                set_attr(child_state, "remaining", remaining)
+                set_attr(child_state, "_remaining_total", parent_remaining_total)
+                child = SearchNode(
+                    child_state,
+                    node,
+                    provision_actions[vm_index],
+                    infra,
+                    penalty,
+                    outcomes,
+                    0.0,
+                    depth,
+                    0.0,
+                    # Shared with the parent: nodes never mutate their
+                    # accumulator after construction (placements branch first).
+                    parent_accumulator,
+                    vm_index,
+                )
+                # -- inlined f-value (kept in sync with priority()) ---------------
+                bound = infra + bounds[0]
+                if monotonic:
+                    provisioning = 0.0
+                    if capacity is not None:
+                        # The fresh VM is empty, so its slack is the full capacity.
+                        overflow = bounds[1] - (capacity if capacity > 0.0 else 0.0)
+                        if overflow > 0:
+                            provisioning = _min_provisioning_cost(
+                                overflow, capacity, min_startup, rate
+                            )
+                    bound += penalty + provisioning
+                else:
+                    # (outcomes, remaining) are unchanged by a start-up edge, so
+                    # the parent's future-cost term carries over bit-for-bit.
+                    future = node.future_bound
+                    if future < 0.0:
+                        future = self._future_cost_bound(outcomes, remaining)
+                    child.future_bound = future
+                    bound += future
+                child.priority = bound
+                successors.append(child)
+        return successors
 
     # -- edge costs (Equation 2), used by the cost-of-X feature ----------------------
 
@@ -281,23 +527,44 @@ class SchedulingProblem:
 
         Equation 2: execution time times the VM's rental rate, plus the change
         in penalty caused by the placement.  Returns ``inf`` when the most
-        recent VM cannot process the template (or no VM exists yet).
+        recent VM cannot process the template (or no VM exists yet).  The
+        penalty delta is answered by the node's incremental accumulator in
+        O(1)/O(log n) instead of re-evaluating the goal over every placement.
         """
         last = node.state.last_vm()
         if last is None:
-            return float("inf")
-        vm_type = self._vm_types[last[0]]
-        if not vm_type.supports(template_name):
-            return float("inf")
-        execution_time = self._latency_model.latency(template_name, vm_type)
+            return _INF
+        vm_index = self._vm_id[last[0]]
+        template_index = self._tpl_id.get(template_name)
+        if template_index is None:
+            # Unknown template: preserve the historical behaviour (the latency
+            # model decides whether to raise or estimate).
+            vm_type = self._vm_types[last[0]]
+            if not vm_type.supports(template_name):
+                return _INF
+            execution_time = self._latency_model.latency(template_name, vm_type)
+            completion = node.last_vm_finish + execution_time
+            outcomes = node.outcomes + (LatencyOutcome(template_name, completion),)
+            penalty_delta = self._goal.penalty(outcomes) - node.penalty
+            return vm_type.running_cost * execution_time + penalty_delta
+        if not self._supports_table[vm_index][template_index]:
+            return _INF
+        execution_time = self._latency_table[vm_index][template_index]
         completion = node.last_vm_finish + execution_time
-        outcomes = node.outcomes + (LatencyOutcome(template_name, completion),)
-        penalty_delta = self._goal.penalty(outcomes) - node.penalty
-        return vm_type.running_cost * execution_time + penalty_delta
+        accumulator = node.accumulator
+        if accumulator is not None:
+            penalty_delta = (
+                self._rate * accumulator.violation_with(template_name, completion)
+                - node.penalty
+            )
+        else:
+            outcomes = node.outcomes + (LatencyOutcome(template_name, completion),)
+            penalty_delta = self._goal.penalty(outcomes) - node.penalty
+        return self._run_cost_table[vm_index][template_index] + penalty_delta
 
     def startup_edge_cost(self, vm_type_name: str) -> float:
         """Weight of a start-up edge for *vm_type_name* (its provisioning fee)."""
-        return self._vm_types[vm_type_name].startup_cost
+        return self._startup_costs[self._vm_id[vm_type_name]]
 
     # -- heuristics and priorities ----------------------------------------------------
 
@@ -305,21 +572,21 @@ class SchedulingProblem:
         cheapest: dict[str, float] = {}
         self._cheapest_time: dict[str, float] = {}
         for name in self._counts:
+            template_index = self._tpl_id[name]
             costs = []
             times = []
-            for vm_type in self._vm_types:
-                if not vm_type.supports(name):
+            for vm_index in range(len(self._vm_names)):
+                if not self._supports_table[vm_index][template_index]:
                     continue
-                latency = self._latency_model.latency(name, vm_type)
-                costs.append(vm_type.running_cost * latency)
-                times.append(latency)
+                costs.append(self._run_cost_table[vm_index][template_index])
+                times.append(self._latency_table[vm_index][template_index])
             if not costs:
                 raise SpecificationError(
                     f"no VM type in the catalogue supports template {name!r}"
                 )
             cheapest[name] = min(costs)
             self._cheapest_time[name] = min(times)
-        self._min_startup_cost = min(vm.startup_cost for vm in self._vm_types)
+        self._min_startup_cost = min(self._startup_costs)
         self._capacity_deadline = self._penalty_free_capacity()
         return cheapest
 
@@ -343,11 +610,36 @@ class SchedulingProblem:
                 return max(relevant)
         return float(deadline)
 
+    def _compute_remaining_bounds(
+        self, remaining: tuple[tuple[str, int], ...]
+    ) -> tuple[float, float]:
+        """Compute and cache the remaining-multiset bounds (see :meth:`_remaining_bounds`)."""
+        execution = sum(
+            self._cheapest_execution[name] * count for name, count in remaining
+        )
+        work = sum(self._cheapest_time[name] * count for name, count in remaining)
+        cached = (execution, work)
+        self._bounds_cache[remaining] = cached
+        return cached
+
+    def _remaining_bounds(
+        self, remaining: tuple[tuple[str, int], ...]
+    ) -> tuple[float, float]:
+        """(Equation-3 bound, cheapest remaining work time) for a remaining multiset.
+
+        Memoized per multiset: the search revisits the same multisets via many
+        paths, and the memo keeps each value bit-identical to a fresh
+        evaluation (an incremental parent-minus-contribution running value
+        would drift in the last float bits and perturb tie-breaking).
+        """
+        cached = self._bounds_cache.get(remaining)
+        if cached is None:
+            cached = self._compute_remaining_bounds(remaining)
+        return cached
+
     def remaining_execution_bound(self, state: SearchState) -> float:
         """Equation 3: cheapest possible execution cost of the unassigned queries."""
-        return sum(
-            self._cheapest_execution[name] * count for name, count in state.remaining
-        )
+        return self._remaining_bounds(state.remaining)[0]
 
     def heuristic(self, state: SearchState) -> float:
         """Admissible cost-to-go estimate for *state*.
@@ -379,22 +671,32 @@ class SchedulingProblem:
         capacity = self._capacity_deadline
         if capacity is None or not node.state.remaining:
             return 0.0
-        remaining_work = sum(
-            self._cheapest_time[name] * count for name, count in node.state.remaining
-        )
+        remaining_work = self._remaining_bounds(node.state.remaining)[1]
         slack = 0.0
         if node.state.last_vm() is not None:
             slack = max(0.0, capacity - node.last_vm_finish)
         overflow = remaining_work - slack
         if overflow <= 0:
             return 0.0
-        rate = self._goal.penalty_rate
-        max_new_vms = int(overflow // capacity) + 1
-        best = float("inf")
-        for new_vms in range(max_new_vms + 1):
-            unplaced = max(0.0, overflow - new_vms * capacity)
-            best = min(best, new_vms * self._min_startup_cost + rate * unplaced)
-        return best
+        return _min_provisioning_cost(
+            overflow, capacity, self._min_startup_cost, self._rate
+        )
+
+    def _remaining_latency_bounds(
+        self, remaining: tuple[tuple[str, int], ...]
+    ) -> list[float]:
+        """Per-query latency lower bounds of a remaining multiset (memoized).
+
+        Callers must treat the returned list as immutable (the goal hooks only
+        read or ``sorted()`` it).
+        """
+        cached = self._latency_bounds_cache.get(remaining)
+        if cached is None:
+            cached = []
+            for name, count in remaining:
+                cached.extend([self._cheapest_time[name]] * count)
+            self._latency_bounds_cache[remaining] = cached
+        return cached
 
     def priority(self, node: SearchNode) -> float:
         """A* f-value: a lower bound on the best complete-schedule cost via *node*.
@@ -407,20 +709,43 @@ class SchedulingProblem:
           as more queries arrive), leaving ``infrastructure + heuristic``,
           which is admissible because penalties are never negative.
         """
-        if node.state.is_goal():
+        state = node.state
+        if state.is_goal():
             return node.partial_cost
-        bound = node.infra_cost + self.remaining_execution_bound(node.state)
-        if self._goal.is_monotonic:
+        bound = node.infra_cost + self._remaining_bounds(state.remaining)[0]
+        if self._is_monotonic:
             bound += node.penalty + self.provisioning_bound(node)
         else:
-            remaining_bounds: list[float] = []
-            for name, count in node.state.remaining:
-                remaining_bounds.extend([self._cheapest_time[name]] * count)
-            assigned = [outcome.latency for outcome in node.outcomes]
-            bound += self._goal.future_cost_lower_bound(
-                assigned, remaining_bounds, self._min_startup_cost
-            )
+            bound += self._future_cost_bound(node.outcomes, state.remaining)
         return bound
+
+    def _future_cost_bound(
+        self,
+        outcomes: tuple[LatencyOutcome, ...],
+        remaining: tuple[tuple[str, int], ...],
+    ) -> float:
+        """Memoised non-monotonic future-cost term of the f-value.
+
+        The term depends only on (assigned latencies, remaining multiset);
+        provision edges and converging paths revisit the same inputs
+        constantly.  Goals whose bound is permutation-invariant key by the
+        sorted latency multiset, the rest by the exact sequence (float sums
+        are order-sensitive, and f-values must stay bit-identical).
+        """
+        assigned = [outcome.latency for outcome in outcomes]
+        if self._future_bound_order_invariant:
+            key = (remaining, tuple(sorted(assigned)))
+        else:
+            key = (remaining, tuple(assigned))
+        future = self._future_cost_cache.get(key)
+        if future is None:
+            future = self._goal.future_cost_lower_bound(
+                assigned,
+                self._remaining_latency_bounds(remaining),
+                self._min_startup_cost,
+            )
+            self._future_cost_cache[key] = future
+        return future
 
     # -- miscellany ---------------------------------------------------------------------
 

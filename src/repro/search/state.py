@@ -29,12 +29,29 @@ def freeze_counts(counts: Mapping[str, int] | Counter[str]) -> tuple[tuple[str, 
 
 @dataclass(frozen=True)
 class SearchState:
-    """One vertex of the scheduling graph."""
+    """One vertex of the scheduling graph.
+
+    :meth:`remaining_total` and :meth:`has_remaining` are called once per A*
+    frontier push / expansion, so both are backed by lazily materialised
+    caches (a total and a frozenset of names) instead of re-scanning the
+    multiset; the caches live in the instance ``__dict__`` and are excluded
+    from equality and hashing.
+    """
 
     #: Partial schedule: VMs in provisioning order with their template queues.
     vms: tuple[VMState, ...]
     #: Unassigned queries, as a frozen multiset of template names.
     remaining: tuple[tuple[str, int], ...]
+
+    def __hash__(self) -> int:
+        # Same basis as the dataclass-generated hash (the compare fields), but
+        # cached: the A* search hashes each state several times (duplicate
+        # checks and the visited set), and the nested tuples are not free.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.vms, self.remaining))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     # -- constructors ----------------------------------------------------------
 
@@ -50,8 +67,12 @@ class SearchState:
         return Counter(dict(self.remaining))
 
     def remaining_total(self) -> int:
-        """Number of queries still unassigned."""
-        return sum(count for _, count in self.remaining)
+        """Number of queries still unassigned (cached on first use)."""
+        cached = self.__dict__.get("_remaining_total")
+        if cached is None:
+            cached = sum(count for _, count in self.remaining)
+            object.__setattr__(self, "_remaining_total", cached)
+        return cached
 
     def remaining_templates(self) -> tuple[str, ...]:
         """Distinct template names with at least one unassigned query."""
@@ -59,7 +80,11 @@ class SearchState:
 
     def has_remaining(self, template_name: str) -> bool:
         """True when at least one query of *template_name* is unassigned."""
-        return any(name == template_name for name, _ in self.remaining)
+        cached = self.__dict__.get("_remaining_names")
+        if cached is None:
+            cached = frozenset(name for name, _ in self.remaining)
+            object.__setattr__(self, "_remaining_names", cached)
+        return template_name in cached
 
     def is_goal(self) -> bool:
         """True when every query has been assigned (a complete schedule)."""
@@ -92,15 +117,18 @@ class SearchState:
         """Successor state after placing one *template_name* query on the last VM."""
         if not self.vms:
             raise ValueError("cannot place a query before provisioning a VM")
-        counts = self.remaining_counts()
-        if counts[template_name] <= 0:
+        if not self.has_remaining(template_name):
             raise ValueError(f"no unassigned query of template {template_name!r}")
-        counts[template_name] -= 1
+        # `remaining` is already in canonical sorted order, so decrementing one
+        # entry in place preserves canonical form without re-sorting.
+        remaining = tuple(
+            (name, count - 1) if name == template_name else (name, count)
+            for name, count in self.remaining
+            if name != template_name or count > 1
+        )
         vm_type_name, queue = self.vms[-1]
         updated_vm = (vm_type_name, queue + (template_name,))
-        return SearchState(
-            vms=self.vms[:-1] + (updated_vm,), remaining=freeze_counts(counts)
-        )
+        return SearchState(vms=self.vms[:-1] + (updated_vm,), remaining=remaining)
 
     # -- cosmetics ---------------------------------------------------------------
 

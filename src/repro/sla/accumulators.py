@@ -16,6 +16,15 @@ or O(log n):
 
 The accumulators mirror the violation-period definitions of Section 3 exactly,
 and the property-based tests assert they agree with the batch definitions.
+
+The *offline* A* search uses them too: every :class:`~repro.search.problem.SearchNode`
+carries an accumulator describing its partial schedule, obtained by
+:meth:`ViolationAccumulator.branch`-ing the parent's and recording the one new
+placement.  ``branch`` is copy-on-write — branching is O(1) and the underlying
+state is only cloned when a branch actually mutates — so carrying an
+accumulator per search vertex costs O(1) extra per edge for every goal except
+the percentile goal (whose sorted-latency state is cloned lazily on the first
+``add`` after a branch).
 """
 
 from __future__ import annotations
@@ -27,6 +36,8 @@ from abc import ABC, abstractmethod
 
 class ViolationAccumulator(ABC):
     """Incrementally tracks a goal's violation period as queries are placed."""
+
+    __slots__ = ()
 
     @abstractmethod
     def add(self, template_name: str, latency: float) -> None:
@@ -44,9 +55,20 @@ class ViolationAccumulator(ABC):
     def copy(self) -> "ViolationAccumulator":
         """An independent copy of the accumulator's state."""
 
+    def branch(self) -> "ViolationAccumulator":
+        """A copy-on-write clone, safe to mutate without affecting this one.
+
+        The default implementation falls back to an eager :meth:`copy`;
+        accumulators with non-trivial state (the percentile goal's sorted
+        latency list) override it to share state until the clone mutates.
+        """
+        return self.copy()
+
 
 class PerQueryViolationAccumulator(ViolationAccumulator):
     """Accumulator for per-query-deadline goals (and max-latency as a special case)."""
+
+    __slots__ = ("_deadlines", "_default_deadline", "_violation")
 
     def __init__(self, deadlines: dict[str, float], default_deadline: float) -> None:
         self._deadlines = dict(deadlines)
@@ -54,8 +76,8 @@ class PerQueryViolationAccumulator(ViolationAccumulator):
         self._violation = 0.0
 
     def _overage(self, template_name: str, latency: float) -> float:
-        deadline = self._deadlines.get(template_name, self._default_deadline)
-        return max(0.0, latency - deadline)
+        overage = latency - self._deadlines.get(template_name, self._default_deadline)
+        return overage if overage > 0.0 else 0.0
 
     def add(self, template_name: str, latency: float) -> None:
         self._violation += self._overage(template_name, latency)
@@ -67,7 +89,12 @@ class PerQueryViolationAccumulator(ViolationAccumulator):
         return self._violation + self._overage(template_name, latency)
 
     def copy(self) -> "PerQueryViolationAccumulator":
-        clone = PerQueryViolationAccumulator(self._deadlines, self._default_deadline)
+        # The deadline table is never mutated, so clones share it; the A*
+        # search branches an accumulator per placement edge and a per-clone
+        # dict copy would dominate the branch cost.
+        clone = object.__new__(type(self))
+        clone._deadlines = self._deadlines
+        clone._default_deadline = self._default_deadline
         clone._violation = self._violation
         return clone
 
@@ -75,12 +102,16 @@ class PerQueryViolationAccumulator(ViolationAccumulator):
 class MaxLatencyViolationAccumulator(PerQueryViolationAccumulator):
     """Accumulator for max-latency goals: one shared deadline for every template."""
 
+    __slots__ = ()
+
     def __init__(self, deadline: float) -> None:
         super().__init__({}, deadline)
 
 
 class AverageLatencyViolationAccumulator(ViolationAccumulator):
     """Accumulator for average-latency goals: tracks the running mean."""
+
+    __slots__ = ("_deadline", "_total", "_count")
 
     def __init__(self, deadline: float) -> None:
         self._deadline = deadline
@@ -102,19 +133,30 @@ class AverageLatencyViolationAccumulator(ViolationAccumulator):
         return max(0.0, total / count - self._deadline)
 
     def copy(self) -> "AverageLatencyViolationAccumulator":
-        clone = AverageLatencyViolationAccumulator(self._deadline)
+        clone = object.__new__(AverageLatencyViolationAccumulator)
+        clone._deadline = self._deadline
         clone._total = self._total
         clone._count = self._count
         return clone
 
 
 class PercentileViolationAccumulator(ViolationAccumulator):
-    """Accumulator for percentile goals: keeps latencies sorted for rank queries."""
+    """Accumulator for percentile goals: keeps latencies sorted for rank queries.
+
+    The sorted list is shared copy-on-write between an accumulator and its
+    :meth:`branch`-es: branching only sets a flag, and the list is cloned on
+    the first subsequent :meth:`add`.  The A* search branches once per
+    placement edge and adds exactly one latency to each branch, so the clone
+    is O(n) per *placement* rather than per penalty evaluation.
+    """
+
+    __slots__ = ("_percent", "_deadline", "_latencies", "_shared")
 
     def __init__(self, percent: float, deadline: float) -> None:
         self._percent = percent
         self._deadline = deadline
         self._latencies: list[float] = []
+        self._shared = False
 
     def _percentile(self, latencies: list[float]) -> float:
         if not latencies:
@@ -123,6 +165,9 @@ class PercentileViolationAccumulator(ViolationAccumulator):
         return latencies[rank - 1]
 
     def add(self, template_name: str, latency: float) -> None:
+        if self._shared:
+            self._latencies = list(self._latencies)
+            self._shared = False
         bisect.insort(self._latencies, latency)
 
     def violation(self) -> float:
@@ -147,4 +192,13 @@ class PercentileViolationAccumulator(ViolationAccumulator):
     def copy(self) -> "PercentileViolationAccumulator":
         clone = PercentileViolationAccumulator(self._percent, self._deadline)
         clone._latencies = list(self._latencies)
+        return clone
+
+    def branch(self) -> "PercentileViolationAccumulator":
+        clone = object.__new__(PercentileViolationAccumulator)
+        clone._percent = self._percent
+        clone._deadline = self._deadline
+        clone._latencies = self._latencies
+        clone._shared = True
+        self._shared = True
         return clone

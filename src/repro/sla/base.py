@@ -70,6 +70,19 @@ class PerformanceGoal(ABC):
         (see :mod:`repro.sla.accumulators`).
         """
 
+    def search_accumulator(self) -> ViolationAccumulator:
+        """A fresh copy-on-write accumulator for the optimal-schedule search.
+
+        The A* search carries one accumulator per vertex: a placement edge
+        :meth:`~repro.sla.accumulators.ViolationAccumulator.branch`-es the
+        parent's accumulator and records the new completion, so penalties and
+        Equation-2 edge weights are computed as O(1)/O(log n) deltas instead
+        of re-evaluating :meth:`penalty` over the whole partial schedule.
+        The default simply reuses :meth:`accumulator`, whose ``branch`` is
+        copy-on-write where it matters.
+        """
+        return self.accumulator()
+
     # -- search guidance hooks --------------------------------------------------
 
     def ordering_horizon(
@@ -111,6 +124,14 @@ class PerformanceGoal(ABC):
         VM queues.
         """
         return None
+
+    #: Whether :meth:`future_cost_lower_bound` returns bit-identical results for
+    #: any permutation of ``assigned_latencies``.  Goals that only consume the
+    #: latencies through order statistics (sorting/rank selection) set this to
+    #: True, which lets the search memoise the bound by latency *multiset*;
+    #: goals that sum latencies directly must leave it False (float addition is
+    #: not associative, so permutations can differ in the last bits).
+    future_bound_order_invariant: bool = False
 
     def future_cost_lower_bound(
         self,
