@@ -12,8 +12,7 @@ on the small instance; everything else runs at full speed at half the price.
 
 from __future__ import annotations
 
-from repro.cloud.vm import single_vm_type_catalog, two_vm_type_catalog
-from repro.config import TrainingConfig
+from repro.cloud.vm import two_vm_type_catalog
 from repro.evaluation.harness import (
     average_percent_above_optimal,
     build_environment,

@@ -11,8 +11,6 @@ and independence from the number of VMs the schedule ends up renting.
 
 from __future__ import annotations
 
-import time
-
 from repro.evaluation.harness import format_table, uniform_workloads
 from repro.runtime.batch import BatchScheduler
 
@@ -23,15 +21,14 @@ def _run(environments, scale):
     rows = []
     for size in scale.scalability_sizes:
         workload = uniform_workloads(environment.templates, 1, size, seed=170)[0]
-        started = time.perf_counter()
-        schedule = scheduler.schedule(workload)
-        elapsed = time.perf_counter() - started
+        outcome = scheduler.run(workload)
+        elapsed = outcome.overhead.wall_time_seconds
         rows.append(
             {
                 "batch size": size,
                 "scheduling time (s)": round(elapsed, 3),
                 "time per query (ms)": round(elapsed / size * 1000.0, 4),
-                "VMs rented": schedule.num_vms(),
+                "VMs rented": outcome.num_vms(),
             }
         )
     return rows

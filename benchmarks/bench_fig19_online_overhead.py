@@ -55,8 +55,10 @@ def _run(environments, scale):
                 optimizations=optimizations,
                 wait_resolution=30.0,
             )
-            report = scheduler.run(workload)
-            row[f"{optimizations.describe()} (s)"] = round(report.total_overhead, 3)
+            outcome = scheduler.run(workload)
+            row[f"{optimizations.describe()} (s)"] = round(
+                outcome.overhead.wall_time_seconds, 3
+            )
         rows.append(row)
     return rows
 

@@ -30,7 +30,9 @@ def main() -> None:
 
     for optimizations in (OnlineOptimizations.none(), OnlineOptimizations.all()):
         scheduler = advisor.online_scheduler(optimizations, wait_resolution=30.0)
-        report = scheduler.run(stream)
+        # ``scheduler.run(stream)`` returns the unified SchedulingOutcome; the
+        # detailed report keeps the per-arrival telemetry this example prints.
+        report = scheduler.run_report(stream)
         print(f"\nOptimizations: {optimizations.describe()}")
         print(f"  VMs rented            : {report.num_vms}")
         print(f"  total cost            : {units.format_cents(report.total_cost)}")

@@ -1,59 +1,98 @@
 #!/usr/bin/env python3
-"""Quickstart: train a WiSeDB model and schedule a batch workload.
+"""Quickstart: a multi-tenant WiSeDB service with persistent models.
 
-This example walks through the advisor's core loop on the paper's TPC-H
-workload specification:
+This example walks the service-layer API end to end:
 
-1. describe the workload (query templates) and the performance goal;
-2. train a decision model offline;
-3. schedule an incoming batch of queries;
-4. inspect the schedule and its Equation-1 cost.
+1. describe two tenants (templates + performance goal each);
+2. train both through the model registry — the second tenant shares the first
+   one's workload specification, so it retrains *adaptively* (Section 5)
+   instead of from scratch;
+3. schedule a batch for each tenant through the unified Scheduler protocol
+   and inspect the SchedulingOutcome (schedule, Equation-1 cost, overheads);
+4. save the whole deployment to disk and reload it — nothing retrains, and
+   the reloaded tenants schedule bit-identically;
+5. show the legacy single-application ``WiSeDBAdvisor`` shim.
 
 Run with ``python examples/quickstart.py``.
 """
 
 from __future__ import annotations
 
-from repro import TrainingConfig, WiSeDBAdvisor, tpch_templates, units
-from repro.sla import MaxLatencyGoal
+import tempfile
+import warnings
+from pathlib import Path
+
+from repro import TrainingConfig, WiSeDBService, tpch_templates, units
+from repro.sla import MaxLatencyGoal, PerQueryDeadlineGoal
 from repro.workloads import WorkloadGenerator
 
 
 def main() -> None:
-    # 1. Workload specification: the ten TPC-H templates of Section 7.1, and a
-    #    max-latency goal of 2.5x the longest template (15 minutes).
+    # 1. Workload specification: the paper's TPC-H templates, two tenants with
+    #    different SLAs over the same specification.
     templates = tpch_templates(10)
-    goal = MaxLatencyGoal.from_factor(templates, factor=2.5)
+    acme_goal = MaxLatencyGoal.from_factor(templates, factor=2.5)
+    globex_goal = PerQueryDeadlineGoal.from_factor(templates, factor=3.0)
     print(f"Workload specification: {len(templates)} templates")
-    print(f"Performance goal: {goal.describe()}")
 
-    # 2. Offline training.  TrainingConfig.fast() keeps this to a few seconds;
-    #    TrainingConfig.paper() reproduces the paper's N=3000 / m=18 corpus.
-    advisor = WiSeDBAdvisor(templates, config=TrainingConfig.fast(seed=1))
-    result = advisor.train(goal)
-    print(
-        f"Trained on {len(result.samples)} sample workloads "
-        f"({result.num_examples} decisions) in {result.training_time:.1f}s; "
-        f"decision tree depth {result.model.metadata.tree_depth}"
-    )
+    service = WiSeDBService()  # pass registry="./models" to persist across runs
+    config = TrainingConfig.fast(seed=1)
+    service.register("acme", templates, acme_goal, config=config)
+    service.register("globex", templates, globex_goal, config=config)
 
-    # 3. Schedule an incoming batch of 60 queries.
+    # 2. Train through the registry.  "acme" trains fresh; "globex" differs
+    #    only in its goal, so the service retrains adaptively from acme's
+    #    stored samples (Section 5) instead of starting over.
+    for name, result in service.train_all().items():
+        tenant = service.tenant(name)
+        print(
+            f"  {name:<7} {tenant.spec.goal.describe():<32} "
+            f"trained [{tenant.provenance}] in {result.training_time:.1f}s "
+            f"({result.num_examples} decisions)"
+        )
+
+    # 3. Schedule a 60-query batch for each tenant.  Every scheduler family
+    #    returns the same SchedulingOutcome shape.
     workload = WorkloadGenerator(templates, seed=7).uniform(60)
+    for name in service.tenant_names():
+        outcome = service.schedule_batch(name, workload)
+        print(f"\n{outcome.describe()}")
+        print(f"  provisioning : {units.format_cents(outcome.cost.startup_cost)}")
+        print(f"  execution    : {units.format_cents(outcome.cost.execution_cost)}")
+        print(f"  SLA penalty  : {units.format_cents(outcome.cost.penalty_cost)}")
+        print(f"  total        : {units.format_cents(outcome.cost.total)}")
+        print(f"  scheduled in : {outcome.overhead.wall_time_seconds * 1000:.0f} ms")
+
+    # 4. Persist the deployment and restore it: registry hits, no retraining,
+    #    bit-identical schedules.
+    with tempfile.TemporaryDirectory() as tmp:
+        deployment = Path(tmp) / "deployment"
+        service.save(deployment)
+        reloaded = WiSeDBService.load(deployment)
+        original = service.schedule_batch("acme", workload)
+        restored = reloaded.schedule_batch("acme", workload)
+        identical = (
+            restored.schedule.signature() == original.schedule.signature()
+            and restored.cost == original.cost
+        )
+        print(
+            f"\nSaved + reloaded from {deployment.name}/: "
+            f"{len(reloaded)} tenants, retrained nothing, "
+            f"bit-identical schedules: {identical}"
+        )
+
+    # 5. The legacy facade still works as a deprecation-shimmed wrapper.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro import WiSeDBAdvisor
+
+        advisor = WiSeDBAdvisor(templates, config=config)
+    advisor.train(acme_goal)
     schedule = advisor.schedule_batch(workload)
-
-    # 4. Inspect the recommendation.
-    print(f"\nSchedule for {len(workload)} queries:")
-    print(f"  VMs to provision : {schedule.num_vms()}")
-    for index, vm in enumerate(schedule):
-        queue = ", ".join(q.template_name for q in vm.queries)
-        print(f"  vm{index} ({vm.vm_type.name}): {queue}")
-
-    cost = advisor.evaluate(schedule)
-    print("\nEquation-1 cost breakdown:")
-    print(f"  provisioning : {units.format_cents(cost.startup_cost)}")
-    print(f"  execution    : {units.format_cents(cost.execution_cost)}")
-    print(f"  SLA penalty  : {units.format_cents(cost.penalty_cost)}")
-    print(f"  total        : {units.format_cents(cost.total)}")
+    print(
+        f"\nLegacy WiSeDBAdvisor (deprecated shim): "
+        f"{schedule.num_vms()} VMs, {units.format_cents(advisor.evaluate(schedule).total)}"
+    )
 
 
 if __name__ == "__main__":

@@ -6,11 +6,21 @@ This package reproduces the system described in
     "WiSeDB: A Learning-based Workload Management Advisor for Cloud Databases."
     PVLDB 9(10), 2016 (arXiv:1601.08221).
 
-The public API mirrors the paper's architecture (Figure 1):
+The public API is service-oriented: models are trained once, persisted as
+fingerprint-addressed artifacts, and shared across tenants and processes,
+while every scheduler family — learned batch, learned online, and the
+heuristic baselines — answers through one protocol:
 
-* :class:`repro.WiSeDBAdvisor` — the end-to-end facade: train a model for a
-  workload specification and performance goal, recommend alternative
-  strategies, schedule batch and online workloads, and price schedules.
+* :class:`repro.service.WiSeDBService` — the entry point: register named
+  tenants (templates + VM catalogue + performance goal), train through the
+  :class:`repro.service.ModelRegistry` (exact fingerprint hits skip training;
+  goal-only changes retrain adaptively per Section 5), schedule batch and
+  online workloads, and ``save``/``load`` whole deployments;
+* :class:`repro.core.Scheduler` / :class:`repro.core.SchedulingOutcome` — the
+  unified scheduling protocol and its common result (schedule, Equation-1
+  cost breakdown, per-query records, overhead counters);
+* :class:`repro.WiSeDBAdvisor` — the legacy single-application facade, kept
+  as a deprecation-shimmed wrapper over a single-tenant service;
 * :mod:`repro.workloads` — query templates, workloads, and workload generators.
 * :mod:`repro.cloud` — the IaaS substrate (VM types, latency models, simulator).
 * :mod:`repro.sla` — the four supported performance goals and their penalties.
@@ -23,24 +33,30 @@ The public API mirrors the paper's architecture (Figure 1):
 
 Quickstart::
 
-    from repro import WiSeDBAdvisor, tpch_templates
-    from repro.sla import MaxLatencyGoal
-    from repro.workloads import WorkloadGenerator
+    from repro import WiSeDBService, tpch_templates
     from repro.config import TrainingConfig
+    from repro.sla import MaxLatencyGoal, PercentileGoal
+    from repro.workloads import WorkloadGenerator
 
     templates = tpch_templates(5)
-    # n_jobs=-1 trains across every CPU (the per-sample A* solves are
-    # embarrassingly parallel); output is bit-identical to n_jobs=1.
-    advisor = WiSeDBAdvisor(templates, config=TrainingConfig.fast(), n_jobs=-1)
-    advisor.train(MaxLatencyGoal.from_factor(templates))
+    service = WiSeDBService(registry="./models", n_jobs=-1)
+    service.register("acme", templates,
+                     MaxLatencyGoal.from_factor(templates),
+                     config=TrainingConfig.fast())
+    service.register("globex", templates,
+                     PercentileGoal.from_factor(templates),
+                     config=TrainingConfig.fast())
+    service.train_all()          # registry hits / adaptive retrains when possible
     workload = WorkloadGenerator(templates, seed=1).uniform(50)
-    schedule = advisor.schedule_batch(workload)
-    print(advisor.evaluate(schedule).total, "cents")
+    outcome = service.schedule_batch("acme", workload)
+    print(outcome.describe(), outcome.total_cost, "cents")
+    service.save("./deployment")  # reload later: WiSeDBService.load(...)
 
 The optimal-schedule search itself runs on an incremental-penalty core: each
-A* vertex carries a copy-on-write violation accumulator and interned
-latency/cost tables, so penalties and Equation-2 edge weights are O(1)-ish
-deltas rather than rescans of the partial schedule (see
+A* vertex carries a copy-on-write violation accumulator, interned
+latency/cost tables, and an incrementally maintained assigned-latency memo
+key, so penalties, Equation-2 edge weights, and the non-monotonic future-cost
+bounds are O(1)-ish deltas rather than rescans of the partial schedule (see
 :mod:`repro.search.problem`); ``benchmarks/bench_training_throughput.py``
 tracks the resulting expansions/sec and samples/sec.
 """
@@ -49,20 +65,30 @@ from repro.config import TrainingConfig
 from repro.core.advisor import WiSeDBAdvisor
 from repro.core.cost_model import CostBreakdown, CostModel
 from repro.core.schedule import Schedule, VMAssignment
+from repro.core.scheduler import Scheduler, SchedulerOverhead, SchedulingOutcome
+from repro.service.registry import ModelRegistry
+from repro.service.service import Tenant, TenantSpec, WiSeDBService
 from repro.workloads.templates import QueryTemplate, TemplateSet, tpch_templates
 from repro.workloads.workload import Workload
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "CostBreakdown",
     "CostModel",
+    "ModelRegistry",
     "QueryTemplate",
     "Schedule",
+    "Scheduler",
+    "SchedulerOverhead",
+    "SchedulingOutcome",
     "TemplateSet",
+    "Tenant",
+    "TenantSpec",
     "TrainingConfig",
     "VMAssignment",
     "WiSeDBAdvisor",
+    "WiSeDBService",
     "Workload",
     "__version__",
     "tpch_templates",

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.cloud.latency import LatencyModel
 from repro.cloud.vm import VMType
 from repro.core.schedule import Schedule, VMAssignment
+from repro.core.scheduler import SchedulingOutcome, timed_simulated_run
 from repro.sla.accumulators import ViolationAccumulator
 from repro.sla.base import PerformanceGoal
 from repro.workloads.query import Query
@@ -39,6 +40,9 @@ class _OpenVM:
 
 class FirstFitScheduler:
     """Shared machinery for FFD, FFI, and the Pack9 ordering heuristic."""
+
+    #: Display name under the unified scheduler protocol (subclasses override).
+    name = "FirstFit"
 
     def __init__(
         self,
@@ -77,6 +81,14 @@ class FirstFitScheduler:
             VMAssignment(vm.vm_type, tuple(vm.queries)) for vm in vms if vm.queries
         )
 
+    def run(self, workload: Workload) -> SchedulingOutcome:
+        """Schedule *workload* and report the unified outcome.
+
+        Heuristics have no decision model, so only the placement count and the
+        wall-clock time populate the overhead counters.
+        """
+        return timed_simulated_run(self, workload, self._goal, self._latency_model)
+
     def _place(
         self, query: Query, vms: list[_OpenVM], accumulator: ViolationAccumulator
     ) -> None:
@@ -108,6 +120,8 @@ class FirstFitScheduler:
 class FirstFitDecreasingScheduler(FirstFitScheduler):
     """FFD: longest queries first (the bin-packing classic)."""
 
+    name = "FFD"
+
     def __init__(
         self, vm_type: VMType, goal: PerformanceGoal, latency_model: LatencyModel
     ) -> None:
@@ -116,6 +130,8 @@ class FirstFitDecreasingScheduler(FirstFitScheduler):
 
 class FirstFitIncreasingScheduler(FirstFitScheduler):
     """FFI: shortest queries first (good for per-query / average-latency goals)."""
+
+    name = "FFI"
 
     def __init__(
         self, vm_type: VMType, goal: PerformanceGoal, latency_model: LatencyModel

@@ -23,6 +23,8 @@ from repro.workloads.workload import Workload
 class Pack9Scheduler(FirstFitScheduler):
     """First-fit placement with the 9-short-then-1-long offering order."""
 
+    name = "Pack9"
+
     #: How many short queries are offered before each long query.
     short_run_length = 9
 

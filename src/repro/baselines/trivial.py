@@ -5,20 +5,55 @@ useful reference points (and appear implicitly in its discussion): dedicating
 a VM to every query maximises performance at maximal provisioning cost, while
 a single shared VM minimises provisioning cost at maximal penalty exposure.
 The test-suite also uses them as easy-to-reason-about upper/lower anchors.
+
+Both participate in the unified :class:`~repro.core.scheduler.Scheduler`
+protocol when constructed with a goal and latency model (needed to price the
+outcome); the bare ``schedule()`` method keeps working without either.
 """
 
 from __future__ import annotations
 
+from repro.cloud.latency import LatencyModel
 from repro.cloud.vm import VMType
 from repro.core.schedule import Schedule, VMAssignment
+from repro.core.scheduler import SchedulingOutcome, timed_simulated_run
+from repro.exceptions import SpecificationError
+from repro.sla.base import PerformanceGoal
 from repro.workloads.workload import Workload
 
 
-class OneQueryPerVMScheduler:
+class _TrivialScheduler:
+    """Shared protocol plumbing for the two trivial reference schedulers."""
+
+    name = "Trivial"
+
+    def __init__(
+        self,
+        vm_type: VMType,
+        goal: PerformanceGoal | None = None,
+        latency_model: LatencyModel | None = None,
+    ) -> None:
+        self._vm_type = vm_type
+        self._goal = goal
+        self._latency_model = latency_model
+
+    def schedule(self, workload: Workload) -> Schedule:
+        raise NotImplementedError  # pragma: no cover - overridden
+
+    def run(self, workload: Workload) -> SchedulingOutcome:
+        """Schedule *workload* and report the unified outcome."""
+        if self._goal is None or self._latency_model is None:
+            raise SpecificationError(
+                f"{self.name} needs a goal and a latency model to price outcomes; "
+                "construct it with both to use the Scheduler protocol"
+            )
+        return timed_simulated_run(self, workload, self._goal, self._latency_model)
+
+
+class OneQueryPerVMScheduler(_TrivialScheduler):
     """Rents a dedicated VM for every query."""
 
-    def __init__(self, vm_type: VMType) -> None:
-        self._vm_type = vm_type
+    name = "OneQueryPerVM"
 
     def schedule(self, workload: Workload) -> Schedule:
         """One VM per query, in workload order."""
@@ -27,11 +62,10 @@ class OneQueryPerVMScheduler:
         )
 
 
-class SingleVMScheduler:
+class SingleVMScheduler(_TrivialScheduler):
     """Queues the entire workload on one VM, shortest queries first."""
 
-    def __init__(self, vm_type: VMType) -> None:
-        self._vm_type = vm_type
+    name = "SingleVM"
 
     def schedule(self, workload: Workload) -> Schedule:
         """All queries on a single VM, ordered by increasing latency."""

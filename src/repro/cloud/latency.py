@@ -68,6 +68,66 @@ class TemplateLatencyModel:
         return min(costs)
 
 
+class TabularLatencyModel:
+    """A latency model backed by an explicit ``{template: {vm_type: seconds}}`` table.
+
+    This is the persistence fallback for latency models that are not the
+    deterministic :class:`TemplateLatencyModel`: whatever estimates the
+    original model produced are tabulated over the specification's
+    (template, VM type) grid and restored verbatim, so schedules produced by
+    a reloaded decision model remain bit-identical to the original's.
+    """
+
+    def __init__(self, latencies: Mapping[str, Mapping[str, float]]) -> None:
+        self._latencies: dict[str, dict[str, float]] = {
+            template: dict(row) for template, row in latencies.items()
+        }
+
+    @property
+    def latencies(self) -> Mapping[str, Mapping[str, float]]:
+        """The underlying latency table."""
+        return {template: dict(row) for template, row in self._latencies.items()}
+
+    def latency(self, template_name: str, vm_type: VMType) -> float:
+        """Tabulated latency of *template_name* on *vm_type* in seconds."""
+        if not vm_type.supports(template_name):
+            raise UnsupportedQueryError(template_name, vm_type.name)
+        row = self._latencies.get(template_name)
+        if row is None or vm_type.name not in row:
+            raise UnsupportedQueryError(template_name, vm_type.name)
+        return row[vm_type.name]
+
+
+def latency_model_to_dict(model, templates: TemplateSet, vm_types) -> dict:
+    """JSON-serializable representation of *model* over a specification grid.
+
+    :class:`TemplateLatencyModel` is fully determined by the template set, so
+    it serializes to a marker that :func:`latency_model_from_dict` turns back
+    into the same class; any other model is tabulated over the
+    (template, VM type) grid into a :class:`TabularLatencyModel` payload.
+    """
+    if type(model) is TemplateLatencyModel:
+        return {"type": "template"}
+    table: dict[str, dict[str, float]] = {}
+    for template in templates:
+        row: dict[str, float] = {}
+        for vm_type in vm_types:
+            if vm_type.supports(template.name):
+                row[vm_type.name] = model.latency(template.name, vm_type)
+        table[template.name] = row
+    return {"type": "tabular", "latencies": table}
+
+
+def latency_model_from_dict(data: Mapping, templates: TemplateSet) -> LatencyModel:
+    """Rebuild a latency model from :func:`latency_model_to_dict` output."""
+    kind = data["type"]
+    if kind == "template":
+        return TemplateLatencyModel(templates)
+    if kind == "tabular":
+        return TabularLatencyModel(data["latencies"])
+    raise SpecificationError(f"unknown latency model type: {kind!r}")
+
+
 class PerturbedLatencyModel:
     """A latency model whose template estimates are systematically wrong.
 

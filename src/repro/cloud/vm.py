@@ -84,6 +84,31 @@ class VMType:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (exact float round-trip)."""
+        return {
+            "name": self.name,
+            "startup_cost": self.startup_cost,
+            "running_cost": self.running_cost,
+            "default_speed_factor": self.default_speed_factor,
+            "speed_factors": dict(sorted(self.speed_factors.items())),
+            "unsupported_templates": sorted(self.unsupported_templates),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VMType":
+        """Rebuild a VM type from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            startup_cost=data["startup_cost"],
+            running_cost=data["running_cost"],
+            default_speed_factor=data.get("default_speed_factor", 1.0),
+            speed_factors=data.get("speed_factors", {}),
+            unsupported_templates=frozenset(data.get("unsupported_templates", ())),
+        )
+
 
 class VMTypeCatalog:
     """The set of VM types offered by the IaaS provider."""
@@ -136,6 +161,17 @@ class VMTypeCatalog:
     def supporting(self, template_name: str) -> tuple[VMType, ...]:
         """All VM types able to process *template_name*."""
         return tuple(vm for vm in self._vm_types if vm.supports(template_name))
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation preserving declaration order."""
+        return {"vm_types": [vm.to_dict() for vm in self._vm_types]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "VMTypeCatalog":
+        """Rebuild a catalogue from :meth:`to_dict` output."""
+        return cls(VMType.from_dict(entry) for entry in data["vm_types"])
 
 
 # ---------------------------------------------------------------------------

@@ -134,6 +134,35 @@ class TrainingConfig:
         """Return a copy with a different worker-process count."""
         return replace(self, n_jobs=n_jobs)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of every training knob.
+
+        ``n_jobs`` is deliberately excluded: it is a wall-clock knob with
+        bit-identical output for any value, so it must not perturb the model
+        registry's content fingerprints.
+        """
+        return {
+            "num_samples": self.num_samples,
+            "queries_per_sample": self.queries_per_sample,
+            "seed": self.seed,
+            "max_expansions": self.max_expansions,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_depth": self.max_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, n_jobs: int = 1) -> "TrainingConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        return cls(
+            num_samples=data["num_samples"],
+            queries_per_sample=data["queries_per_sample"],
+            seed=data["seed"],
+            max_expansions=data["max_expansions"],
+            min_samples_leaf=data["min_samples_leaf"],
+            max_depth=data["max_depth"],
+            n_jobs=n_jobs,
+        )
+
     def effective_n_jobs(self) -> int:
         """The resolved worker count (every value below 1 means "all CPUs")."""
         if self.n_jobs > 0:

@@ -1,16 +1,26 @@
-"""Core abstractions: schedules, outcomes, the cost model, and the advisor facade."""
+"""Core abstractions: schedules, outcomes, the cost model, the scheduler protocol."""
 
 from repro.core.advisor import WiSeDBAdvisor
 from repro.core.cost_model import CostBreakdown, CostModel, schedule_cost
 from repro.core.outcome import QueryOutcome
 from repro.core.schedule import Schedule, VMAssignment
+from repro.core.scheduler import (
+    Scheduler,
+    SchedulerOverhead,
+    SchedulingOutcome,
+    simulated_outcome,
+)
 
 __all__ = [
     "CostBreakdown",
     "CostModel",
     "QueryOutcome",
     "Schedule",
+    "Scheduler",
+    "SchedulerOverhead",
+    "SchedulingOutcome",
     "VMAssignment",
     "WiSeDBAdvisor",
     "schedule_cost",
+    "simulated_outcome",
 ]

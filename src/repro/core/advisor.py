@@ -1,25 +1,27 @@
-"""The WiSeDB advisor facade.
+"""The legacy WiSeDB advisor facade (deprecated compatibility shim).
 
-:class:`WiSeDBAdvisor` ties the pieces of Figure 1 together behind one object:
+.. deprecated::
+    :class:`WiSeDBAdvisor` predates the service layer and manages exactly one
+    application with one in-process model.  New code should use
+    :class:`repro.service.WiSeDBService`, which manages many named tenants,
+    persists trained models in a fingerprint-addressed registry, and returns
+    unified :class:`~repro.core.scheduler.SchedulingOutcome` results.
 
-* **Model Generator** — ``train(goal)`` learns a decision model for the
-  application's workload specification and performance goal;
-* **Strategy Recommendation** — ``recommend_strategies(k)`` derives alternative
-  models for stricter/looser goals and prunes them to ``k`` distinct
-  performance/cost trade-offs, each with a cost-estimation function;
-* **Schedule Generator** — ``schedule_batch(workload)`` turns an incoming batch
-  into a concrete schedule (VMs to rent, query placement, execution order), and
-  ``online_scheduler()`` returns a scheduler for queries arriving one at a time;
-* cost accounting — ``evaluate(schedule)`` prices any schedule with Equation 1.
-
-The facade is a convenience layer: every capability is also available through
-the underlying packages for callers that need finer control.
+The advisor remains fully functional as a thin single-tenant wrapper over a
+service instance: ``train`` registers (or re-goals) the one tenant and trains
+it through the service's in-memory registry, and every other method delegates
+to the service.  Behaviour matches the historical facade — ``train`` always
+produces the from-scratch model (never the adaptive shortcut), and ``adapt``
+exposes the Section-5 machinery explicitly — so existing callers keep their
+exact outputs, plus free exact-fingerprint caching on repeated training.
 """
 
 from __future__ import annotations
 
-from repro.adaptive.recommendation import Strategy, StrategyRecommender
-from repro.adaptive.retraining import AdaptiveModeler, AdaptiveRetrainingReport
+import warnings
+
+from repro.adaptive.recommendation import Strategy
+from repro.adaptive.retraining import AdaptiveRetrainingReport
 from repro.cloud.latency import LatencyModel, TemplateLatencyModel
 from repro.cloud.vm import VMTypeCatalog, single_vm_type_catalog
 from repro.config import TrainingConfig
@@ -31,13 +33,21 @@ from repro.learning.trainer import ModelGenerator, TrainingResult
 from repro.runtime.batch import BatchScheduler
 from repro.runtime.estimator import CostEstimator, per_template_cost_profile
 from repro.runtime.online import OnlineOptimizations, OnlineScheduler
+from repro.service.service import WiSeDBService
 from repro.sla.base import PerformanceGoal
 from repro.workloads.templates import TemplateSet
 from repro.workloads.workload import Workload
 
 
 class WiSeDBAdvisor:
-    """End-to-end workload management advisor for one application."""
+    """End-to-end workload management advisor for one application.
+
+    Deprecated: a single-tenant compatibility wrapper around
+    :class:`repro.service.WiSeDBService` (see the module docstring).
+    """
+
+    #: Name of the single tenant the shim manages inside its service.
+    _TENANT = "default"
 
     def __init__(
         self,
@@ -53,20 +63,22 @@ class WiSeDBAdvisor:
         that many processes; ``-1`` uses every CPU.  Output is bit-identical
         for any value, so this is purely a wall-clock knob.
         """
+        warnings.warn(
+            "WiSeDBAdvisor is deprecated; use repro.service.WiSeDBService, "
+            "which manages multiple tenants and persists trained models",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._templates = templates
         self._vm_types = vm_types or single_vm_type_catalog()
         self._latency_model = latency_model or TemplateLatencyModel(templates)
+        self._custom_latency_model = latency_model
         self._config = config or TrainingConfig.fast()
         if n_jobs is not None:
             self._config = self._config.with_n_jobs(n_jobs)
-        self._generator = ModelGenerator(
-            templates=templates,
-            vm_types=self._vm_types,
-            latency_model=self._latency_model,
-            config=self._config,
-        )
+        self._service = WiSeDBService()
         self._cost_model = CostModel(self._latency_model)
-        self._training: TrainingResult | None = None
+        self._fallback_generator: ModelGenerator | None = None
 
     # -- accessors -------------------------------------------------------------------
 
@@ -81,16 +93,33 @@ class WiSeDBAdvisor:
         return self._vm_types
 
     @property
+    def service(self) -> WiSeDBService:
+        """The single-tenant service instance backing this shim."""
+        return self._service
+
+    @property
     def generator(self) -> ModelGenerator:
         """The underlying model generator (exposed for advanced use)."""
-        return self._generator
+        if self._TENANT in self._service:
+            return self._service.tenant(self._TENANT).generator
+        if self._fallback_generator is None:
+            self._fallback_generator = ModelGenerator(
+                templates=self._templates,
+                vm_types=self._vm_types,
+                latency_model=self._latency_model,
+                config=self._config,
+            )
+        return self._fallback_generator
 
     @property
     def training(self) -> TrainingResult:
         """The most recent training result (raises until :meth:`train` is called)."""
-        if self._training is None:
+        if self._TENANT not in self._service:
             raise TrainingError("the advisor has not been trained yet; call train()")
-        return self._training
+        tenant = self._service.tenant(self._TENANT)
+        if tenant.training is None:
+            raise TrainingError("the advisor has not been trained yet; call train()")
+        return tenant.training
 
     @property
     def model(self) -> DecisionModel:
@@ -100,14 +129,30 @@ class WiSeDBAdvisor:
     # -- training and adaptation --------------------------------------------------------
 
     def train(self, goal: PerformanceGoal) -> TrainingResult:
-        """Train (offline) a decision model for *goal* and keep it as current."""
-        self._training = self._generator.generate(goal)
-        return self._training
+        """Train (offline) a decision model for *goal* and keep it as current.
+
+        Delegates to the backing service in ``"fresh"`` mode, preserving the
+        historical always-train-from-scratch semantics; an exact registry hit
+        (same goal trained before by this advisor) is returned directly, which
+        is bit-identical to retraining.
+        """
+        if self._TENANT in self._service:
+            self._service.update_goal(self._TENANT, goal)
+        else:
+            self._service.register(
+                self._TENANT,
+                self._templates,
+                goal,
+                vm_types=self._vm_types,
+                latency_model=self._custom_latency_model,
+                config=self._config,
+            )
+        return self._service.train(self._TENANT, mode="fresh")
 
     def adapt(self, new_goal: PerformanceGoal) -> tuple[TrainingResult, AdaptiveRetrainingReport]:
         """Derive a model for a shifted goal by re-using the current training set."""
-        modeler = AdaptiveModeler(self._generator, self.training)
-        return modeler.retrain(new_goal)
+        self.training  # raises until trained, matching the historical facade
+        return self._service.adapt(self._TENANT, new_goal)
 
     def recommend_strategies(
         self,
@@ -116,13 +161,10 @@ class WiSeDBAdvisor:
         max_shift: float = 0.5,
     ) -> list[Strategy]:
         """Recommend ``k`` strategies with distinct performance/cost trade-offs."""
-        recommender = StrategyRecommender(
-            self._generator,
-            self.training,
-            num_candidates=num_candidates,
-            max_shift=max_shift,
+        self.training
+        return self._service.recommend_strategies(
+            self._TENANT, k=k, num_candidates=num_candidates, max_shift=max_shift
         )
-        return recommender.recommend(k)
 
     # -- runtime ----------------------------------------------------------------------------
 
@@ -139,9 +181,9 @@ class WiSeDBAdvisor:
         wait_resolution: float = 30.0,
     ) -> OnlineScheduler:
         """An online scheduler backed by the current model."""
-        return OnlineScheduler(
-            base_training=self.training,
-            generator=self._generator,
+        self.training
+        return self._service.online_scheduler(
+            self._TENANT,
             optimizations=optimizations,
             wait_resolution=wait_resolution,
         )

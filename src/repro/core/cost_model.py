@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cloud.latency import LatencyModel
-from repro.cloud.simulator import ScheduleSimulator
+from repro.cloud.simulator import ExecutionTrace, ScheduleSimulator
 from repro.core.schedule import Schedule
 from repro.sla.base import PerformanceGoal
 
@@ -51,6 +51,28 @@ class CostBreakdown:
         return cls(0.0, 0.0, 0.0)
 
 
+def breakdown_from_trace(
+    schedule: Schedule, trace: ExecutionTrace, goal: PerformanceGoal
+) -> CostBreakdown:
+    """Equation-1 breakdown of an already-simulated schedule.
+
+    The single pricing implementation shared by :class:`CostModel` and
+    :func:`repro.core.scheduler.simulated_outcome`, so the two can never
+    drift apart.
+    """
+    startup = sum(vm.vm_type.startup_cost for vm in schedule)
+    execution = 0.0
+    for vm_index, vm in enumerate(schedule):
+        busy = sum(
+            outcome.execution_time for outcome in trace.outcomes_for_vm(vm_index)
+        )
+        execution += vm.vm_type.running_cost * busy
+    penalty = goal.penalty(trace.outcomes)
+    return CostBreakdown(
+        startup_cost=startup, execution_cost=execution, penalty_cost=penalty
+    )
+
+
 class CostModel:
     """Evaluates Equation 1 for schedules under a given latency model."""
 
@@ -71,17 +93,7 @@ class CostModel:
     ) -> CostBreakdown:
         """Full cost breakdown of *schedule* under *goal*."""
         trace = self._simulator.run(schedule, provision_time=provision_time)
-        startup = sum(vm.vm_type.startup_cost for vm in schedule)
-        execution = 0.0
-        for vm_index, vm in enumerate(schedule):
-            busy = sum(
-                outcome.execution_time for outcome in trace.outcomes_for_vm(vm_index)
-            )
-            execution += vm.vm_type.running_cost * busy
-        penalty = goal.penalty(trace.outcomes)
-        return CostBreakdown(
-            startup_cost=startup, execution_cost=execution, penalty_cost=penalty
-        )
+        return breakdown_from_trace(schedule, trace, goal)
 
     def total_cost(
         self,

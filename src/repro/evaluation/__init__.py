@@ -9,7 +9,9 @@ from repro.evaluation.harness import (
     compare_to_heuristics,
     compare_to_optimal,
     format_table,
+    heuristic_schedulers,
     measure_training_time,
+    run_schedulers,
     skewed_workloads,
     uniform_workloads,
 )
@@ -31,9 +33,11 @@ __all__ = [
     "compare_to_optimal",
     "format_table",
     "geometric_mean",
+    "heuristic_schedulers",
     "mean",
     "measure_training_time",
     "percent_above",
+    "run_schedulers",
     "skewed_workloads",
     "spread",
     "standard_deviation",

@@ -28,6 +28,7 @@ from repro.cloud.latency import LatencyModel, TemplateLatencyModel
 from repro.cloud.vm import VMTypeCatalog, single_vm_type_catalog
 from repro.config import TrainingConfig
 from repro.core.cost_model import CostModel
+from repro.core.scheduler import Scheduler, SchedulingOutcome
 from repro.evaluation.metrics import mean, percent_above
 from repro.exceptions import SearchBudgetExceeded
 from repro.learning.model import DecisionModel
@@ -184,27 +185,40 @@ def skewed_workloads(
 
 
 # ---------------------------------------------------------------------------
-# Model vs metric-specific heuristics (Figure 13)
+# Model vs metric-specific heuristics (Figure 13) — via the unified protocol
 # ---------------------------------------------------------------------------
+
+
+def heuristic_schedulers(environment: ExperimentEnvironment) -> dict[str, Scheduler]:
+    """The Figure-13 scheduler line-up (learned strategy plus all heuristics).
+
+    Every entry implements the unified :class:`~repro.core.scheduler.Scheduler`
+    protocol, so callers run and price them identically.
+    """
+    vm_type = environment.vm_types.default
+    goal = environment.goal
+    latency_model = environment.latency_model
+    return {
+        "FFD": FirstFitDecreasingScheduler(vm_type, goal, latency_model),
+        "FFI": FirstFitIncreasingScheduler(vm_type, goal, latency_model),
+        "Pack9": Pack9Scheduler(vm_type, goal, latency_model),
+        "WiSeDB": BatchScheduler(environment.model),
+    }
+
+
+def run_schedulers(
+    schedulers: Mapping[str, Scheduler], workload: Workload
+) -> dict[str, SchedulingOutcome]:
+    """Run every scheduler on *workload* through the unified protocol."""
+    return {name: scheduler.run(workload) for name, scheduler in schedulers.items()}
 
 
 def compare_to_heuristics(
     environment: ExperimentEnvironment, workload: Workload
 ) -> dict[str, float]:
     """Cost of WiSeDB, FFD, FFI, and Pack9 schedules for one workload."""
-    vm_type = environment.vm_types.default
-    goal = environment.goal
-    latency_model = environment.latency_model
-    schedulers = {
-        "FFD": FirstFitDecreasingScheduler(vm_type, goal, latency_model),
-        "FFI": FirstFitIncreasingScheduler(vm_type, goal, latency_model),
-        "Pack9": Pack9Scheduler(vm_type, goal, latency_model),
-        "WiSeDB": BatchScheduler(environment.model),
-    }
-    return {
-        name: environment.cost_of(scheduler.schedule(workload))
-        for name, scheduler in schedulers.items()
-    }
+    outcomes = run_schedulers(heuristic_schedulers(environment), workload)
+    return {name: outcome.total_cost for name, outcome in outcomes.items()}
 
 
 # ---------------------------------------------------------------------------

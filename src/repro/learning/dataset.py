@@ -110,6 +110,40 @@ class TrainingSet:
         ]
         return TrainingSet(kept, examples)
 
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation.
+
+        Example features are stored as dense value rows in the canonical
+        feature order; features absent from an example's mapping read as 0.0
+        exactly as :meth:`to_matrix` treats them, so a restored set produces a
+        bit-identical training matrix.
+        """
+        names = self._feature_names
+        return {
+            "feature_names": list(names),
+            "examples": [
+                {
+                    "label": example.label,
+                    "values": [example.features.get(name, 0.0) for name in names],
+                }
+                for example in self._examples
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingSet":
+        """Rebuild a training set from :meth:`to_dict` output."""
+        names = tuple(data["feature_names"])
+        examples = [
+            TrainingExample(
+                features=dict(zip(names, entry["values"])), label=entry["label"]
+            )
+            for entry in data["examples"]
+        ]
+        return cls(names, examples)
+
     def merged_with(self, other: "TrainingSet") -> "TrainingSet":
         """A new training set containing this set's and *other*'s examples."""
         if self._feature_names != other.feature_names:

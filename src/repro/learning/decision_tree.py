@@ -374,6 +374,68 @@ class DecisionTreeClassifier:
         _render(root, "")
         return "\n".join(lines)
 
+    # -- serialization ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the fitted tree.
+
+        Thresholds and counts round-trip exactly (floats survive JSON
+        bit-for-bit), so a restored tree predicts identically to the original.
+        """
+        def _node(node: TreeNode) -> dict:
+            data: dict = {
+                "samples": node.samples,
+                "class_counts": node.class_counts,
+                "label": node.label,
+            }
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                data["feature_index"] = node.feature_index
+                data["threshold"] = node.threshold
+                data["left"] = _node(node.left)
+                data["right"] = _node(node.right)
+            return data
+
+        return {
+            "max_depth": self._max_depth,
+            "min_samples_leaf": self._min_samples_leaf,
+            "min_samples_split": self._min_samples_split,
+            "min_gain": self._min_gain,
+            "feature_names": list(self._feature_names),
+            "classes": list(self._classes),
+            "root": _node(self._require_fitted()),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionTreeClassifier":
+        """Rebuild a fitted tree from :meth:`to_dict` output."""
+        tree = cls(
+            max_depth=data["max_depth"],
+            min_samples_leaf=data["min_samples_leaf"],
+            min_samples_split=data["min_samples_split"],
+            min_gain=data["min_gain"],
+        )
+        tree._feature_names = tuple(data["feature_names"])
+        tree._classes = tuple(data["classes"])
+        feature_names = tree._feature_names
+
+        def _node(entry: dict) -> TreeNode:
+            node = TreeNode(
+                samples=entry["samples"],
+                class_counts=dict(entry["class_counts"]),
+                label=entry["label"],
+            )
+            if "feature_index" in entry:
+                node.feature_index = entry["feature_index"]
+                node.feature_name = feature_names[entry["feature_index"]]
+                node.threshold = entry["threshold"]
+                node.left = _node(entry["left"])
+                node.right = _node(entry["right"])
+            return node
+
+        tree._root = _node(data["root"])
+        return tree
+
     def accuracy(self, matrix: np.ndarray, labels: Sequence[str]) -> float:
         """Training/holdout accuracy of the fitted tree on (matrix, labels)."""
         matrix = np.asarray(matrix, dtype=float)

@@ -21,10 +21,16 @@ latency, never stack two empty VMs — and records how often it had to do so.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Mapping
 
-from repro.cloud.latency import LatencyModel
+from repro.cloud.latency import (
+    LatencyModel,
+    latency_model_from_dict,
+    latency_model_to_dict,
+)
 from repro.cloud.vm import VMType, VMTypeCatalog
 from repro.exceptions import ModelError
 from repro.learning.decision_tree import DecisionTreeClassifier
@@ -65,6 +71,15 @@ class ModelMetadata:
     tree_depth: int = 0
     tree_leaves: int = 0
     extra: dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ModelMetadata":
+        """Rebuild metadata from :meth:`to_dict` output."""
+        return cls(**dict(data))
 
 
 class DecisionModel:
@@ -164,6 +179,67 @@ class DecisionModel:
             f"{len(self._templates)} templates, {len(self._vm_types)} VM types, "
             f"tree depth {self._metadata.tree_depth})"
         )
+
+    # -- persistence -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Self-contained JSON-serializable representation of the model.
+
+        Everything the model needs at runtime is embedded — the fitted tree,
+        the workload specification (templates and VM catalogue), the goal, the
+        latency estimates, and the feature configuration — so
+        :meth:`from_dict` restores a model whose schedules and costs are
+        bit-identical to the original's.
+        """
+        return {
+            "format": "wisedb-decision-model",
+            "version": 1,
+            "templates": self._templates.to_dict(),
+            "vm_types": self._vm_types.to_dict(),
+            "goal": self._goal.to_dict(),
+            "latency_model": latency_model_to_dict(
+                self._latency_model, self._templates, self._vm_types
+            ),
+            "feature_families": list(self._extractor.families),
+            "tree": self._tree.to_dict(),
+            "metadata": self._metadata.to_dict(),
+            "penalty_guard": self._penalty_guard,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DecisionModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        from repro.sla.factory import goal_from_dict
+
+        if data.get("format") != "wisedb-decision-model":
+            raise ModelError("not a serialized WiSeDB decision model")
+        templates = TemplateSet.from_dict(data["templates"])
+        vm_types = VMTypeCatalog.from_dict(data["vm_types"])
+        extractor = FeatureExtractor(
+            templates, vm_types, tuple(data["feature_families"])
+        )
+        return cls(
+            tree=DecisionTreeClassifier.from_dict(data["tree"]),
+            extractor=extractor,
+            templates=templates,
+            vm_types=vm_types,
+            goal=goal_from_dict(data["goal"]),
+            latency_model=latency_model_from_dict(data["latency_model"], templates),
+            metadata=ModelMetadata.from_dict(data["metadata"]),
+            penalty_guard=data.get("penalty_guard", True),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the model to *path* as JSON (parent directories are created)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DecisionModel":
+        """Read a model previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
     # -- raw prediction ----------------------------------------------------------
 

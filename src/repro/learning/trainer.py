@@ -59,6 +59,23 @@ class SampleSolution:
     optimal_cost: float
     expansions: int
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "template_counts": dict(self.template_counts),
+            "optimal_cost": self.optimal_cost,
+            "expansions": self.expansions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SampleSolution":
+        """Rebuild a sample solution from :meth:`to_dict` output."""
+        return cls(
+            template_counts=dict(data["template_counts"]),
+            optimal_cost=data["optimal_cost"],
+            expansions=data["expansions"],
+        )
+
 
 @dataclass
 class TrainingResult:
@@ -79,6 +96,60 @@ class TrainingResult:
     def num_examples(self) -> int:
         """Number of labelled decisions in the training set."""
         return len(self.training_set)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Self-contained JSON-serializable representation of the training run.
+
+        Besides the decision model itself, the sample workloads and their
+        optimal costs are included so a restored result supports everything a
+        fresh one does — in particular adaptive retraining
+        (:class:`~repro.adaptive.retraining.AdaptiveModeler`) and the online
+        scheduler's linear-shifting path, both of which re-search the stored
+        samples.  Floats survive JSON exactly, so restored runs retrain and
+        schedule bit-identically.
+        """
+        return {
+            "format": "wisedb-training-result",
+            "version": 1,
+            "model": self.model.to_dict(),
+            "training_set": self.training_set.to_dict(),
+            "samples": [sample.to_dict() for sample in self.samples],
+            "goal": self.goal.to_dict(),
+            "config": self.config.to_dict(),
+            "training_time": self.training_time,
+            "search_time": self.search_time,
+            "fit_time": self.fit_time,
+            "skipped_samples": self.skipped_samples,
+            "workloads": [workload.to_dict() for workload in self.workloads],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, n_jobs: int = 1) -> "TrainingResult":
+        """Rebuild a training result from :meth:`to_dict` output.
+
+        ``n_jobs`` seeds the restored configuration's worker count (it is not
+        part of the serialized form because it never affects output).
+        """
+        if data.get("format") != "wisedb-training-result":
+            raise TrainingError("not a serialized WiSeDB training result")
+        model = DecisionModel.from_dict(data["model"])
+        templates = model.templates
+        return cls(
+            model=model,
+            training_set=TrainingSet.from_dict(data["training_set"]),
+            samples=[SampleSolution.from_dict(entry) for entry in data["samples"]],
+            goal=model.goal,
+            config=TrainingConfig.from_dict(data["config"], n_jobs=n_jobs),
+            training_time=data["training_time"],
+            search_time=data["search_time"],
+            fit_time=data["fit_time"],
+            skipped_samples=data["skipped_samples"],
+            workloads=[
+                Workload.from_dict(entry, templates) for entry in data["workloads"]
+            ],
+        )
 
 
 def collect_examples(

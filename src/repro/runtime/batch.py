@@ -19,11 +19,13 @@ Two details keep large batches fast and faithful:
 
 from __future__ import annotations
 
+import time
 from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 
 from repro.cloud.vm import VMType
 from repro.core.schedule import Schedule, VMAssignment
+from repro.core.scheduler import SchedulerOverhead, SchedulingOutcome, simulated_outcome
 from repro.exceptions import ScheduleError
 from repro.learning.model import DecisionModel
 from repro.search.actions import PlaceQuery, ProvisionVM
@@ -89,6 +91,10 @@ class BatchSchedulingResult:
 class BatchScheduler:
     """Schedules batch workloads by repeatedly parsing a decision model."""
 
+    #: Display name under the unified :class:`~repro.core.scheduler.Scheduler`
+    #: protocol (the label the paper's figures use for the learned strategies).
+    name = "WiSeDB"
+
     def __init__(self, model: DecisionModel) -> None:
         self._model = model
 
@@ -102,6 +108,32 @@ class BatchScheduler:
     def schedule(self, workload: Workload) -> Schedule:
         """Produce a complete schedule for *workload*."""
         return self.schedule_detailed(workload).schedule
+
+    def run(self, workload: Workload) -> SchedulingOutcome:
+        """Schedule *workload* and report the unified outcome.
+
+        The wall-clock overhead covers schedule generation only (the quantity
+        Figure 17 plots); pricing is derived from one simulator pass and
+        matches :class:`~repro.core.cost_model.CostModel` bit-for-bit.
+        """
+        stats = self._model.stats
+        fallbacks_before = stats.fallbacks
+        guard_before = stats.guard_activations
+        started = time.perf_counter()
+        result = self.schedule_detailed(workload)
+        elapsed = time.perf_counter() - started
+        return simulated_outcome(
+            name=self.name,
+            schedule=result.schedule,
+            goal=self._model.goal,
+            latency_model=self._model.latency_model,
+            overhead=SchedulerOverhead(
+                wall_time_seconds=elapsed,
+                decisions=result.decisions,
+                fallbacks=stats.fallbacks - fallbacks_before,
+                guard_activations=stats.guard_activations - guard_before,
+            ),
+        )
 
     def schedule_detailed(
         self,

@@ -36,13 +36,15 @@ from repro.adaptive.retraining import AdaptiveModeler
 from repro.cloud.vm import VMType
 from repro.core.cost_model import CostBreakdown
 from repro.core.outcome import QueryOutcome
+from repro.core.schedule import Schedule, VMAssignment
+from repro.core.scheduler import SchedulerOverhead, SchedulingOutcome
 from repro.exceptions import SpecificationError
 from repro.learning.model import DecisionModel
 from repro.learning.trainer import ModelGenerator, TrainingResult
 from repro.runtime.batch import BatchScheduler
 from repro.sla.per_query import PerQueryDeadlineGoal
 from repro.workloads.query import Query
-from repro.workloads.templates import QueryTemplate, TemplateSet
+from repro.workloads.templates import QueryTemplate
 from repro.workloads.workload import Workload
 
 
@@ -152,6 +154,10 @@ class OnlineSchedulingReport:
 class OnlineScheduler:
     """Schedules queries as they arrive, using and adapting a trained model."""
 
+    #: Display name under the unified :class:`~repro.core.scheduler.Scheduler`
+    #: protocol.
+    name = "WiSeDB-online"
+
     def __init__(
         self,
         base_training: TrainingResult,
@@ -175,8 +181,42 @@ class OnlineScheduler:
 
     # -- main loop ------------------------------------------------------------------
 
-    def run(self, workload: Workload) -> OnlineSchedulingReport:
+    def run(self, workload: Workload) -> SchedulingOutcome:
+        """Schedule *workload* and report the unified outcome.
+
+        The outcome's schedule reflects what actually ran where (queries in
+        per-VM execution order); online-specific telemetry (retrains, cache
+        hits) lands in the overhead counters, and :meth:`run_report` remains
+        available for the full per-arrival report Figures 18-19 are built on.
+        """
+        report, vms = self._execute(workload)
+        schedule = Schedule(
+            VMAssignment(vm.vm_type, tuple(record.query for record in vm.records))
+            for vm in vms
+        ).without_empty_vms()
+        return SchedulingOutcome(
+            scheduler=self.name,
+            goal=self._base.goal,
+            schedule=schedule,
+            cost=report.cost,
+            query_outcomes=report.outcomes,
+            overhead=SchedulerOverhead(
+                wall_time_seconds=report.total_overhead,
+                decisions=len(report.scheduling_overheads),
+                retrains=report.retrains,
+                cache_hits=report.cache_hits,
+            ),
+        )
+
+    def run_report(self, workload: Workload) -> OnlineSchedulingReport:
         """Schedule *workload*'s queries in arrival order and report the outcome."""
+        report, _ = self._execute(workload)
+        return report
+
+    def _execute(
+        self, workload: Workload
+    ) -> tuple[OnlineSchedulingReport, list["_VMRecord"]]:
+        """The arrival loop shared by :meth:`run` and :meth:`run_report`."""
         base_goal = self._base.goal
         latency_model = self._generator.latency_model
 
@@ -229,7 +269,7 @@ class OnlineScheduler:
 
         outcomes = self._outcomes(vms)
         cost = self._total_cost(vms, outcomes, base_goal)
-        return OnlineSchedulingReport(
+        report = OnlineSchedulingReport(
             outcomes=outcomes,
             cost=cost,
             scheduling_overheads=overheads,
@@ -239,6 +279,7 @@ class OnlineScheduler:
             num_vms=len(vms),
             optimizations=self._optimizations,
         )
+        return report, vms
 
     # -- model selection ---------------------------------------------------------------
 

@@ -52,6 +52,7 @@ optimal costs and chosen schedules are unchanged.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Mapping, NamedTuple, Sequence
@@ -129,6 +130,12 @@ class SearchNode:
     #: computed).  Provision edges keep (outcomes, remaining) unchanged, so
     #: their children reuse the parent's term without rebuilding the memo key.
     future_bound: float = field(default=-1.0)
+    #: Assigned-latency key for the non-monotonic future-cost memo (``None`` =
+    #: not computed).  Maintained incrementally along placement edges — one
+    #: ``bisect`` insertion for order-invariant goals, one tuple append
+    #: otherwise — so the memo key is never rebuilt (or re-sorted) from the
+    #: outcome tuple per generated vertex.
+    latency_key: "tuple[float, ...] | None" = field(default=None)
 
     @property
     def partial_cost(self) -> float:
@@ -332,6 +339,11 @@ class SchedulingProblem:
         state_cls = SearchState
         set_attr = object.__setattr__
 
+        # Assigned-latency memo key of the parent, maintained incrementally
+        # for the non-monotonic goals (see SearchNode.latency_key).
+        parent_key = None if monotonic else self._latency_key_of(node)
+        order_invariant = self._future_bound_order_invariant
+
         # Placement edges: only onto the most recently provisioned VM.
         if vms:
             last_vm_type_name, queue = vms[-1]
@@ -459,7 +471,20 @@ class SchedulingProblem:
                                 )
                         bound += penalty + provisioning
                     else:
-                        future = self._future_cost_bound(outcomes, child_remaining)
+                        # One insertion extends the parent's memo key: a bisect
+                        # insert keeps order-invariant keys sorted, an append
+                        # preserves the exact sequence for the rest.
+                        if order_invariant:
+                            position = bisect_right(parent_key, completion)
+                            child_key = (
+                                parent_key[:position]
+                                + (completion,)
+                                + parent_key[position:]
+                            )
+                        else:
+                            child_key = parent_key + (completion,)
+                        child.latency_key = child_key
+                        future = self._future_cost_bound(child_key, child_remaining)
                         child.future_bound = future
                         bound += future
                     child.priority = bound
@@ -510,10 +535,12 @@ class SchedulingProblem:
                     bound += penalty + provisioning
                 else:
                     # (outcomes, remaining) are unchanged by a start-up edge, so
-                    # the parent's future-cost term carries over bit-for-bit.
+                    # the parent's future-cost term and memo key carry over
+                    # bit-for-bit.
+                    child.latency_key = parent_key
                     future = node.future_bound
                     if future < 0.0:
-                        future = self._future_cost_bound(outcomes, remaining)
+                        future = self._future_cost_bound(parent_key, remaining)
                     child.future_bound = future
                     bound += future
                 child.priority = bound
@@ -716,31 +743,50 @@ class SchedulingProblem:
         if self._is_monotonic:
             bound += node.penalty + self.provisioning_bound(node)
         else:
-            bound += self._future_cost_bound(node.outcomes, state.remaining)
+            bound += self._future_cost_bound(
+                self._latency_key_of(node), state.remaining
+            )
         return bound
+
+    def _latency_key_of(self, node: SearchNode) -> tuple[float, ...]:
+        """The node's assigned-latency memo key, computed once and cached.
+
+        Children built by :meth:`expand` inherit the key incrementally (one
+        bisect insertion per placement); this fallback only runs for nodes
+        built elsewhere (the initial vertex, runtime contexts, tests).  Goals
+        whose bound is permutation-invariant key by the sorted latency
+        multiset, the rest by the exact sequence (float sums are
+        order-sensitive, and f-values must stay bit-identical).
+        """
+        key = node.latency_key
+        if key is None:
+            assigned = tuple(outcome.latency for outcome in node.outcomes)
+            if self._future_bound_order_invariant:
+                key = tuple(sorted(assigned))
+            else:
+                key = assigned
+            node.latency_key = key
+        return key
 
     def _future_cost_bound(
         self,
-        outcomes: tuple[LatencyOutcome, ...],
+        latency_key: tuple[float, ...],
         remaining: tuple[tuple[str, int], ...],
     ) -> float:
         """Memoised non-monotonic future-cost term of the f-value.
 
         The term depends only on (assigned latencies, remaining multiset);
         provision edges and converging paths revisit the same inputs
-        constantly.  Goals whose bound is permutation-invariant key by the
-        sorted latency multiset, the rest by the exact sequence (float sums
-        are order-sensitive, and f-values must stay bit-identical).
+        constantly.  ``latency_key`` doubles as the assigned-latency argument
+        of the goal hook: for order-invariant goals it is the sorted multiset
+        (the hook only reads order statistics, so the value is unchanged), for
+        the rest it is the exact placement sequence.
         """
-        assigned = [outcome.latency for outcome in outcomes]
-        if self._future_bound_order_invariant:
-            key = (remaining, tuple(sorted(assigned)))
-        else:
-            key = (remaining, tuple(assigned))
+        key = (remaining, latency_key)
         future = self._future_cost_cache.get(key)
         if future is None:
             future = self._goal.future_cost_lower_bound(
-                assigned,
+                latency_key,
                 self._remaining_latency_bounds(remaining),
                 self._min_startup_cost,
             )

@@ -1,0 +1,241 @@
+"""The persistent decision-model registry.
+
+Trained WiSeDB models used to live and die with the Python process that
+trained them.  The registry makes them addressable artifacts instead: every
+training run is keyed by a **content fingerprint** — a SHA-256 over the
+canonical JSON of the workload specification that produced it (templates, VM
+catalogue, performance goal, training configuration) — and persisted as a
+self-contained JSON document holding the full
+:class:`~repro.learning.trainer.TrainingResult` (decision model, training set,
+sample workloads, optimal costs).
+
+Two fingerprints matter:
+
+* the **full fingerprint** includes the goal — an exact hit means the exact
+  model already exists, so retraining is skipped outright;
+* the **base fingerprint** excludes the goal — a hit there means a model for
+  the *same specification under a different goal* exists, whose stored sample
+  workloads and optimal costs let :class:`~repro.adaptive.retraining.AdaptiveModeler`
+  derive the new model far more cheaply than a fresh training run (Section 5).
+
+``n_jobs`` never enters a fingerprint: worker counts change wall-clock only,
+and training output is bit-identical for any value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.exceptions import WiSeDBError
+from repro.learning.trainer import TrainingResult
+
+#: Format marker written into every registry artifact.
+ARTIFACT_FORMAT = "wisedb-model-artifact"
+
+
+def canonical_json(data) -> str:
+    """Deterministic JSON encoding used for fingerprinting.
+
+    Keys are sorted and separators fixed, and floats serialize via ``repr``
+    (exact round-trip), so equal specifications always produce equal bytes.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_payload(payload: dict) -> str:
+    """SHA-256 content fingerprint of a JSON-serializable payload."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ModelRegistry:
+    """Stores training results by content fingerprint, optionally on disk.
+
+    Without a directory the registry is a process-local cache (still useful:
+    exact-fingerprint hits deduplicate training across tenants).  With a
+    directory, every ``put`` also writes ``<fingerprint>.json`` and a fresh
+    process can ``get`` or ``find_base`` everything a previous one trained.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._cache: dict[str, TrainingResult] = {}
+        #: fingerprint -> base fingerprint, for every artifact seen so far.
+        self._bases: dict[str, str] = {}
+        #: fingerprint -> how the artifact was trained ("fresh" | "adaptive").
+        self._provenance: dict[str, str] = {}
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def directory(self) -> Path | None:
+        """Where artifacts are persisted (``None`` for an in-memory registry)."""
+        return self._directory
+
+    def fingerprints(self) -> tuple[str, ...]:
+        """Every fingerprint the registry can currently serve, sorted."""
+        known = set(self._cache)
+        if self._directory is not None:
+            known.update(path.stem for path in self._directory.glob("*.json"))
+        return tuple(sorted(known))
+
+    def __len__(self) -> int:
+        return len(self.fingerprints())
+
+    def __contains__(self, fingerprint: object) -> bool:
+        if not isinstance(fingerprint, str):
+            return False
+        if fingerprint in self._cache:
+            return True
+        path = self._path(fingerprint)
+        return path is not None and path.exists()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.fingerprints())
+
+    # -- storage -----------------------------------------------------------------
+
+    def get(self, fingerprint: str, n_jobs: int = 1) -> TrainingResult | None:
+        """The stored training result for *fingerprint*, or ``None``.
+
+        Results are cached per process, so repeated hits return the same
+        object without re-reading or re-parsing the artifact.  Corrupt,
+        truncated, or foreign files are treated as misses (the caller then
+        retrains and overwrites them) rather than poisoning every lookup.
+        """
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return cached
+        path = self._path(fingerprint)
+        if path is None:
+            return None
+        data = self._read_artifact(path)
+        if data is None:
+            return None
+        return self._materialize(fingerprint, data, n_jobs)
+
+    def put(
+        self,
+        fingerprint: str,
+        base_fingerprint: str,
+        spec: dict,
+        result: TrainingResult,
+        provenance: str = "fresh",
+    ) -> Path | None:
+        """Store *result* under *fingerprint*; returns the artifact path if persisted.
+
+        *spec* is the JSON-serializable specification the fingerprint was
+        computed from; it is embedded in the artifact so a registry directory
+        is self-describing.  *provenance* records how the result was obtained
+        (``"fresh"`` from-scratch training, ``"adaptive"`` Section-5
+        retraining) — adaptive results are cost-optimal-equivalent but not
+        guaranteed bit-identical to a fresh run, and callers insisting on
+        fresh semantics filter on it via :meth:`provenance`.
+        """
+        self._cache[fingerprint] = result
+        self._bases[fingerprint] = base_fingerprint
+        self._provenance[fingerprint] = provenance
+        if self._directory is None:
+            return None
+        path = self._directory / f"{fingerprint}.json"
+        artifact = {
+            "format": ARTIFACT_FORMAT,
+            "version": 1,
+            "fingerprint": fingerprint,
+            "base_fingerprint": base_fingerprint,
+            "provenance": provenance,
+            "spec": spec,
+            "training": result.to_dict(),
+        }
+        # Write-then-rename so a crash mid-write never leaves a truncated
+        # artifact under the final name.
+        staging = path.with_suffix(".json.tmp")
+        staging.write_text(json.dumps(artifact), encoding="utf-8")
+        staging.replace(path)
+        return path
+
+    # -- adaptive-base lookup ------------------------------------------------------
+
+    def find_base(
+        self,
+        base_fingerprint: str,
+        exclude: Iterable[str] = (),
+        n_jobs: int = 1,
+    ) -> TrainingResult | None:
+        """A stored result sharing *base_fingerprint* (same spec, any goal).
+
+        Used to seed adaptive retraining when only the goal changed.  Lookup
+        order is deterministic: in-memory artifacts first (sorted by
+        fingerprint), then on-disk artifacts (sorted by filename).
+        """
+        excluded = set(exclude)
+        for fingerprint in sorted(self._bases):
+            if fingerprint in excluded:
+                continue
+            if self._bases[fingerprint] == base_fingerprint:
+                result = self.get(fingerprint, n_jobs=n_jobs)
+                if result is not None:
+                    return result
+        if self._directory is not None:
+            for path in sorted(self._directory.glob("*.json")):
+                fingerprint = path.stem
+                if fingerprint in excluded or fingerprint in self._bases:
+                    continue
+                # The scan JSON-parses each artifact (once per process — the
+                # _bases memo skips it afterwards) but only reads its header:
+                # the heavyweight TrainingResult (tree, training set, sample
+                # workloads) is materialized and cached for a match alone.
+                data = self._read_artifact(path)
+                if data is None:
+                    continue
+                self._bases[fingerprint] = data["base_fingerprint"]
+                if data["base_fingerprint"] == base_fingerprint:
+                    result = self._materialize(fingerprint, data, n_jobs)
+                    if result is not None:
+                        return result
+        return None
+
+    # -- internals -----------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> Path | None:
+        if self._directory is None:
+            return None
+        return self._directory / f"{fingerprint}.json"
+
+    @staticmethod
+    def _read_artifact(path: Path) -> dict | None:
+        """Parse an artifact file, returning ``None`` for anything unusable."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(data, dict) or data.get("format") != ARTIFACT_FORMAT:
+            return None
+        if "training" not in data or "base_fingerprint" not in data:
+            return None
+        return data
+
+    def _materialize(
+        self, fingerprint: str, data: dict, n_jobs: int
+    ) -> TrainingResult | None:
+        """Turn a parsed artifact into a cached training result (None = corrupt)."""
+        try:
+            result = TrainingResult.from_dict(data["training"], n_jobs=n_jobs)
+        except (KeyError, TypeError, ValueError, WiSeDBError):
+            return None
+        self._cache[fingerprint] = result
+        self._bases[fingerprint] = data["base_fingerprint"]
+        self._provenance[fingerprint] = data.get("provenance", "fresh")
+        return result
+
+    def provenance(self, fingerprint: str) -> str | None:
+        """How a stored artifact was trained ("fresh"/"adaptive"), if known.
+
+        Only answered for artifacts this process has seen (``get``/``put``/
+        a ``find_base`` scan); returns ``None`` otherwise.
+        """
+        return self._provenance.get(fingerprint)

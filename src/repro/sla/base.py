@@ -235,6 +235,23 @@ class PerformanceGoal(ABC):
             )
         return self.deadline < other.deadline
 
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the goal.
+
+        The default covers goals fully described by ``(kind, deadline,
+        penalty_rate)``; subclasses with extra state override it.  The
+        representation round-trips exactly (floats survive JSON bit-for-bit)
+        through :func:`repro.sla.factory.goal_from_dict`, which is what the
+        model registry uses to key and restore persisted decision models.
+        """
+        return {
+            "kind": self.kind,
+            "deadline": self.deadline,
+            "penalty_rate": self.penalty_rate,
+        }
+
     # -- cosmetics -------------------------------------------------------------
 
     def describe(self) -> str:

@@ -59,3 +59,29 @@ def default_goals(
 ) -> Mapping[str, PerformanceGoal]:
     """All four default goals, keyed by kind, in the paper's display order."""
     return {kind: default_goal(kind, templates, penalty_rate) for kind in GOAL_KINDS}
+
+
+def goal_from_dict(data: Mapping) -> PerformanceGoal:
+    """Rebuild a performance goal from :meth:`PerformanceGoal.to_dict` output.
+
+    The inverse of ``goal.to_dict()`` for all four paper goals; used by the
+    model registry to restore persisted decision models.  Values round-trip
+    exactly, so restored goals produce bit-identical penalties.
+    """
+    kind = data["kind"]
+    penalty_rate = data.get("penalty_rate", config.DEFAULT_PENALTY_RATE)
+    if kind == "max":
+        return MaxLatencyGoal(deadline=data["deadline"], penalty_rate=penalty_rate)
+    if kind == "per_query":
+        return PerQueryDeadlineGoal(
+            deadlines=data["deadlines"], penalty_rate=penalty_rate
+        )
+    if kind == "average":
+        return AverageLatencyGoal(deadline=data["deadline"], penalty_rate=penalty_rate)
+    if kind == "percentile":
+        return PercentileGoal(
+            percent=data["percent"],
+            deadline=data["deadline"],
+            penalty_rate=penalty_rate,
+        )
+    raise ValueError(f"unknown goal kind: {kind!r}")

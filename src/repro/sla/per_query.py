@@ -123,6 +123,14 @@ class PerQueryDeadlineGoal(PerformanceGoal):
             penalty_rate=self.penalty_rate,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (per-template deadlines, sorted)."""
+        return {
+            "kind": self.kind,
+            "deadlines": dict(sorted(self._deadlines.items())),
+            "penalty_rate": self.penalty_rate,
+        }
+
     def with_extra_deadline(self, template_name: str, deadline: float) -> "PerQueryDeadlineGoal":
         """A copy that also covers *template_name* (used for online 'aged' templates)."""
         deadlines = dict(self._deadlines)

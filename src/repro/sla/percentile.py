@@ -211,6 +211,15 @@ class PercentileGoal(PerformanceGoal):
         """The longest template latency (every query can be made to meet it)."""
         return templates.max_latency()
 
+    def to_dict(self) -> dict:
+        """JSON-serializable representation including the percentile itself."""
+        return {
+            "kind": self.kind,
+            "percent": self._percent,
+            "deadline": self._deadline,
+            "penalty_rate": self.penalty_rate,
+        }
+
     def with_deadline(self, deadline: float) -> "PercentileGoal":
         return PercentileGoal(
             percent=self._percent, deadline=deadline, penalty_rate=self.penalty_rate

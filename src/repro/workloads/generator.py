@@ -20,7 +20,6 @@ import random
 from typing import Iterator, Mapping, Sequence
 
 from repro.exceptions import SpecificationError
-from repro.workloads.query import Query
 from repro.workloads.skew import proportions_to_counts, skewed_proportions
 from repro.workloads.templates import TemplateSet
 from repro.workloads.workload import Workload

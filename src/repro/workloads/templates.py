@@ -51,6 +51,21 @@ class QueryTemplate:
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.name
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (exact float round-trip)."""
+        return {"name": self.name, "base_latency": self.base_latency, "sql": self.sql}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QueryTemplate":
+        """Rebuild a template from :meth:`to_dict` output."""
+        return cls(
+            name=data["name"],
+            base_latency=data["base_latency"],
+            sql=data.get("sql", ""),
+        )
+
 
 class TemplateSet:
     """An ordered, immutable collection of query templates.
@@ -147,6 +162,17 @@ class TemplateSet:
         if missing:
             raise UnknownTemplateError(sorted(missing)[0])
         return TemplateSet(t for t in self._templates if t.name in wanted)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation preserving declaration order."""
+        return {"templates": [t.to_dict() for t in self._templates]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TemplateSet":
+        """Rebuild a template set from :meth:`to_dict` output."""
+        return cls(QueryTemplate.from_dict(entry) for entry in data["templates"])
 
 
 # ---------------------------------------------------------------------------

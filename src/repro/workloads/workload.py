@@ -49,6 +49,42 @@ class Workload:
         """Build a workload with one query per entry of *names*, in order."""
         return cls(templates, (Query(template_name=name) for name in names))
 
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation of the query list.
+
+        The template set is not embedded (callers persist it once alongside);
+        :meth:`from_dict` re-attaches it.  Query ids and arrival times survive
+        the round trip, so schedules built from a restored workload are
+        bit-identical to the original's.
+        """
+        return {
+            "queries": [
+                {
+                    "template_name": query.template_name,
+                    "query_id": query.query_id,
+                    "arrival_time": query.arrival_time,
+                }
+                for query in self._queries
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, templates: TemplateSet) -> "Workload":
+        """Rebuild a workload from :meth:`to_dict` output over *templates*."""
+        return cls(
+            templates,
+            (
+                Query(
+                    template_name=entry["template_name"],
+                    query_id=entry["query_id"],
+                    arrival_time=entry.get("arrival_time", 0.0),
+                )
+                for entry in data["queries"]
+            ),
+        )
+
     # -- container protocol --------------------------------------------------
 
     def __len__(self) -> int:

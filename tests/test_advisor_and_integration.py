@@ -6,7 +6,6 @@ import pytest
 
 from repro.config import TrainingConfig
 from repro.core.advisor import WiSeDBAdvisor
-from repro.core.cost_model import CostModel
 from repro.exceptions import TrainingError
 from repro.runtime.online import OnlineOptimizations
 from repro.search.optimal import find_optimal_schedule
@@ -89,9 +88,10 @@ def test_online_scheduler_from_advisor(advisor, small_templates):
     generator = WorkloadGenerator(small_templates, seed=34)
     workload = generator.with_fixed_arrivals(generator.uniform(8), delay=45.0)
     scheduler = advisor.online_scheduler(OnlineOptimizations.all(), wait_resolution=60.0)
-    report = scheduler.run(workload)
-    assert len(report.outcomes) == len(workload)
-    assert report.total_cost > 0.0
+    outcome = scheduler.run(workload)
+    assert len(outcome.query_outcomes) == len(workload)
+    assert outcome.total_cost > 0.0
+    assert outcome.scheduler == "WiSeDB-online"
 
 
 def test_schedule_with_explicit_model(advisor, small_templates):

@@ -35,7 +35,7 @@ def test_optimization_labels():
 
 def test_online_schedules_every_query(trained_max, model_generator, arrival_workload):
     scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
-    report = scheduler.run(arrival_workload)
+    report = scheduler.run_report(arrival_workload)
     assert len(report.outcomes) == len(arrival_workload)
     scheduled_ids = {outcome.query_id for outcome in report.outcomes}
     assert scheduled_ids == {q.query_id for q in arrival_workload}
@@ -43,7 +43,7 @@ def test_online_schedules_every_query(trained_max, model_generator, arrival_work
 
 def test_online_queries_start_after_arrival(trained_max, model_generator, arrival_workload):
     scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
-    report = scheduler.run(arrival_workload)
+    report = scheduler.run_report(arrival_workload)
     arrivals = {q.query_id: q.arrival_time for q in arrival_workload}
     for outcome in report.outcomes:
         assert outcome.start_time >= arrivals[outcome.query_id] - 1e-9
@@ -51,7 +51,7 @@ def test_online_queries_start_after_arrival(trained_max, model_generator, arriva
 
 def test_online_report_accounting(trained_max, model_generator, arrival_workload):
     scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
-    report = scheduler.run(arrival_workload)
+    report = scheduler.run_report(arrival_workload)
     assert report.num_vms >= 1
     assert report.total_cost > 0.0
     assert len(report.scheduling_overheads) == len(arrival_workload)
@@ -65,7 +65,7 @@ def test_online_batch_arrivals_match_batch_scheduler_cost_scale(
     """With all arrivals at t=0 the online run should behave like batch scheduling."""
     workload = WorkloadGenerator(small_templates, seed=22).uniform(12)
     scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
-    report = scheduler.run(workload)
+    report = scheduler.run_report(workload)
     batch_schedule = BatchScheduler(trained_max.model).schedule(workload)
     batch_cost = CostModel(trained_max.model.latency_model).total_cost(
         batch_schedule, trained_max.goal
@@ -82,7 +82,7 @@ def test_shift_optimization_triggers_for_shiftable_goal(
     # Long inter-arrival gaps force waits beyond the resolution for queued queries.
     workload = generator.with_fixed_arrivals(generator.uniform(6), delay=90.0)
     scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.shift_only())
-    report = scheduler.run(workload)
+    report = scheduler.run_report(workload)
     assert len(report.outcomes) == len(workload)
 
 
@@ -96,7 +96,7 @@ def test_reuse_caches_models(trained_average, model_generator, small_templates):
         optimizations=OnlineOptimizations.reuse_only(),
         wait_resolution=1000.0,
     )
-    report = with_reuse.run(workload)
+    report = with_reuse.run_report(workload)
     assert len(report.outcomes) == len(workload)
     # With a coarse wait resolution every wait rounds to the same signature,
     # so at most a couple of models are ever trained.

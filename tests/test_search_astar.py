@@ -8,7 +8,7 @@ import pytest
 
 from repro import units
 from repro.cloud.latency import TemplateLatencyModel
-from repro.cloud.vm import single_vm_type_catalog, t2_medium, two_vm_type_catalog
+from repro.cloud.vm import single_vm_type_catalog, t2_medium
 from repro.core.cost_model import CostModel
 from repro.core.schedule import Schedule, VMAssignment
 from repro.exceptions import SearchBudgetExceeded
