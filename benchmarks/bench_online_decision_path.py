@@ -1,0 +1,170 @@
+"""Per-arrival and per-parse decision latency of the inference fast path.
+
+Figure 19's headline quantity is how long an arriving query waits for a
+scheduling decision.  Model (re)training is measured by
+``bench_fig19_online_overhead``; this benchmark isolates the *decision path*
+— the work done when no retraining is needed: pull back the wait queue,
+express it in the model's vocabulary, and parse the model to a schedule.
+
+Two series are reported for every goal kind, each under the vectorized fast
+path and under ``REPRO_SLOW_PATH=1`` (the legacy dict-feature / tree-node-walk
+/ one-pass-per-query loop — scheduling output is bit-identical, only the
+wall clock differs):
+
+* ``online_us_per_arrival`` — mean wall-clock scheduling time per arrival for
+  a fixed-gap stream scheduled with the base model (a huge wait resolution
+  keeps every wait in the zero bucket, so no retraining occurs);
+* ``batch_us_per_parse`` — mean time per model parse while batch-scheduling a
+  large workload (the Section 7.4 / Figure 17 scaling regime).
+
+The measured speedups are merged into ``BENCH_training_throughput.json`` as
+the ``online_decision_us`` series for commit-over-commit tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.evaluation.harness import format_table
+from repro.learning.trainer import ModelGenerator
+from repro.runtime.batch import BatchScheduler
+from repro.runtime.online import OnlineOptimizations, OnlineScheduler
+from repro.sla.factory import GOAL_KINDS
+from repro.workloads.generator import WorkloadGenerator
+
+from conftest import print_figure
+
+ONLINE_QUERIES = 60
+BATCH_QUERIES = 2000
+ROUNDS = 3
+
+
+def _online_seconds(environment, generator, stream) -> float:
+    best = None
+    for _ in range(ROUNDS):
+        scheduler = OnlineScheduler(
+            base_training=environment.training,
+            generator=generator,
+            optimizations=OnlineOptimizations.all(),
+            wait_resolution=1.0e9,  # waits all round to 0: base model only
+        )
+        started = time.perf_counter()
+        report = scheduler.run_report(stream)
+        elapsed = time.perf_counter() - started
+        assert report.retrains == 0  # decision path only
+        best = elapsed if best is None or elapsed < best else best
+    return best
+
+
+def _batch_seconds(environment, workload) -> tuple[float, int]:
+    scheduler = BatchScheduler(environment.model)
+    result = scheduler.schedule_detailed(workload)  # warm caches
+    best = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = scheduler.schedule_detailed(workload)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None or elapsed < best else best
+    return best, result.decisions
+
+
+def _with_slow_path(enabled: bool, thunk):
+    saved = os.environ.pop("REPRO_SLOW_PATH", None)
+    try:
+        if enabled:
+            os.environ["REPRO_SLOW_PATH"] = "1"
+        return thunk()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SLOW_PATH", None)
+        else:
+            os.environ["REPRO_SLOW_PATH"] = saved
+
+
+def _run(environments, scale):
+    del scale  # sizes are fixed: this benchmark tracks latency, not shape
+    rows = []
+    for kind in GOAL_KINDS:
+        environment = environments[kind]
+        stream_source = WorkloadGenerator(environment.templates, seed=190)
+        stream = stream_source.with_fixed_arrivals(
+            stream_source.uniform(ONLINE_QUERIES), delay=20.0
+        )
+        batch = WorkloadGenerator(environment.templates, seed=191).uniform(
+            BATCH_QUERIES
+        )
+        generator = ModelGenerator(
+            templates=environment.templates,
+            vm_types=environment.vm_types,
+            latency_model=environment.latency_model,
+            config=environment.training.config,
+        )
+
+        online_fast = _with_slow_path(
+            False, lambda: _online_seconds(environment, generator, stream)
+        )
+        online_slow = _with_slow_path(
+            True, lambda: _online_seconds(environment, generator, stream)
+        )
+        batch_fast, parses = _with_slow_path(
+            False, lambda: _batch_seconds(environment, batch)
+        )
+        batch_slow, _ = _with_slow_path(
+            True, lambda: _batch_seconds(environment, batch)
+        )
+
+        rows.append(
+            {
+                "goal": kind,
+                "online_us_fast": round(online_fast / ONLINE_QUERIES * 1e6, 1),
+                "online_us_legacy": round(online_slow / ONLINE_QUERIES * 1e6, 1),
+                "online_speedup": round(online_slow / online_fast, 2),
+                "parse_us_fast": round(batch_fast / parses * 1e6, 1),
+                "parse_us_legacy": round(batch_slow / parses * 1e6, 1),
+                "parse_speedup": round(batch_slow / batch_fast, 2),
+            }
+        )
+    return rows
+
+
+def _merge_into_throughput_json(rows) -> Path | None:
+    path = Path(__file__).resolve().parent.parent / "BENCH_training_throughput.json"
+    if not path.exists():
+        return None
+    payload = json.loads(path.read_text())
+    payload["online_decision_us"] = {
+        # Provenance marker: bench_training_throughput preserves this series
+        # verbatim, so it may have been measured on an earlier run than the
+        # training rows it sits next to.
+        "source": "benchmarks/bench_online_decision_path.py",
+        "rows": rows,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def test_online_decision_path_latency(benchmark, environments, scale):
+    rows = benchmark.pedantic(_run, args=(environments, scale), rounds=1, iterations=1)
+    columns = [
+        "goal",
+        "online_us_fast",
+        "online_us_legacy",
+        "online_speedup",
+        "parse_us_fast",
+        "parse_us_legacy",
+        "parse_speedup",
+    ]
+    print_figure(
+        "Online decision path — per-arrival / per-parse latency, fast vs legacy",
+        format_table(rows, columns),
+    )
+    path = _merge_into_throughput_json(rows)
+    if path is not None:
+        print(f"(online_decision_us series merged into {path})")
+    for row in rows:
+        # The fast path must never lose to the legacy path it replaces.
+        assert row["online_speedup"] >= 0.9
+        assert row["parse_speedup"] >= 0.9

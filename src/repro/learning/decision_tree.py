@@ -78,6 +78,140 @@ def _entropy_rows(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
     return -terms.sum(axis=1)
 
 
+class CompiledTreeEvaluator:
+    """A fitted tree flattened into parallel arrays for fast prediction.
+
+    The node-object walk of :meth:`DecisionTreeClassifier.predict_vector`
+    chases one Python object per level, reading four attributes per hop.  The
+    compiled form stores the whole tree as parallel arrays indexed by a
+    preorder node id — split feature column, threshold, left/right child ids,
+    and a leaf-label id — so a prediction is a tight loop over flat lists
+    (scalar path) or a vectorized level-synchronous descent over numpy arrays
+    (matrix path).  Predictions are bit-identical to the node walk: same
+    thresholds, same ``<=`` comparisons, same labels.
+
+    ``feature_names`` optionally re-maps the tree's split columns onto an
+    external feature order (e.g. a :class:`~repro.learning.features.FeatureExtractor`'s
+    canonical row layout).  A split on a feature absent from that order is
+    constant-folded the way :meth:`DecisionTreeClassifier.predict` treats
+    missing features — the value reads as ``0.0``, so the branch is decided at
+    compile time.
+    """
+
+    __slots__ = (
+        "feature",
+        "threshold",
+        "left",
+        "right",
+        "leaf_label",
+        "labels",
+        "feature_names",
+        "_feature_list",
+        "_threshold_list",
+        "_left_list",
+        "_right_list",
+        "_leaf_list",
+    )
+
+    def __init__(self, root: TreeNode, feature_names: Sequence[str]) -> None:
+        column_of = {name: index for index, name in enumerate(feature_names)}
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        leaf_labels: list[int] = []
+        label_ids: dict[str, int] = {}
+
+        def _flatten(node: TreeNode) -> int:
+            while not node.is_leaf:
+                assert node.feature_name is not None and node.threshold is not None
+                column = column_of.get(node.feature_name)
+                if column is not None:
+                    break
+                # Missing feature: reads as 0.0, so the branch is constant.
+                assert node.left is not None and node.right is not None
+                node = node.left if 0.0 <= node.threshold else node.right
+            index = len(features)
+            if node.is_leaf:
+                features.append(-1)
+                thresholds.append(0.0)
+                lefts.append(-1)
+                rights.append(-1)
+                leaf_labels.append(label_ids.setdefault(node.label, len(label_ids)))
+                return index
+            assert node.left is not None and node.right is not None
+            features.append(column_of[node.feature_name])
+            thresholds.append(float(node.threshold))
+            lefts.append(-1)
+            rights.append(-1)
+            leaf_labels.append(-1)
+            lefts[index] = _flatten(node.left)
+            rights[index] = _flatten(node.right)
+            return index
+
+        _flatten(root)
+        self.feature_names = tuple(feature_names)
+        self.labels: tuple[str, ...] = tuple(
+            sorted(label_ids, key=label_ids.__getitem__)
+        )
+        # Plain lists for the scalar hot loop (Python list indexing beats
+        # numpy item access), numpy arrays for the vectorized matrix descent.
+        self._feature_list = features
+        self._threshold_list = thresholds
+        self._left_list = lefts
+        self._right_list = rights
+        self._leaf_list = leaf_labels
+        self.feature = np.asarray(features, dtype=np.int64)
+        self.threshold = np.asarray(thresholds, dtype=float)
+        self.left = np.asarray(lefts, dtype=np.int64)
+        self.right = np.asarray(rights, dtype=np.int64)
+        self.leaf_label = np.asarray(leaf_labels, dtype=np.int64)
+
+    def predict_row(self, row) -> str:
+        """Label for one feature row in this evaluator's column order."""
+        features = self._feature_list
+        thresholds = self._threshold_list
+        lefts = self._left_list
+        rights = self._right_list
+        index = 0
+        column = features[0]
+        while column >= 0:
+            if row[column] <= thresholds[index]:
+                index = lefts[index]
+            else:
+                index = rights[index]
+            column = features[index]
+        return self.labels[self._leaf_list[index]]
+
+    def predict_matrix(self, matrix: np.ndarray) -> list[str]:
+        """Labels for a ``(n_rows, n_features)`` matrix, one descent per level.
+
+        All rows step down one tree level per iteration, so the loop runs
+        ``height`` times regardless of row count instead of ``height`` times
+        per row.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise TrainingError("predict_matrix expects a two-dimensional matrix")
+        n_rows = matrix.shape[0]
+        if n_rows == 0:
+            return []
+        positions = np.zeros(n_rows, dtype=np.int64)
+        row_indices = np.arange(n_rows)
+        while True:
+            columns = self.feature[positions]
+            active = columns >= 0
+            if not active.any():
+                break
+            rows = row_indices[active]
+            current = positions[rows]
+            go_left = (
+                matrix[rows, self.feature[current]] <= self.threshold[current]
+            )
+            positions[rows] = np.where(go_left, self.left[current], self.right[current])
+        return [self.labels[index] for index in self.leaf_label[positions]]
+
+
 class DecisionTreeClassifier:
     """C4.5-style classifier over numeric features and string labels."""
 
@@ -99,6 +233,10 @@ class DecisionTreeClassifier:
         self._root: TreeNode | None = None
         self._feature_names: tuple[str, ...] = ()
         self._classes: tuple[str, ...] = ()
+        #: feature-order key -> CompiledTreeEvaluator (reset whenever the
+        #: fitted tree changes; compiling is O(nodes) but the evaluator is
+        #: reused for every decision of a scheduling run).
+        self._compiled_cache: dict[tuple[str, ...], CompiledTreeEvaluator] = {}
 
     # -- fitting ------------------------------------------------------------------
 
@@ -124,6 +262,7 @@ class DecisionTreeClassifier:
         class_index = {label: i for i, label in enumerate(self._classes)}
         encoded = np.asarray([class_index[label] for label in labels], dtype=int)
         self._root = self._build(matrix, encoded, depth=0)
+        self._compiled_cache.clear()
         return self
 
     def _build(self, matrix: np.ndarray, encoded: np.ndarray, depth: int) -> TreeNode:
@@ -288,6 +427,27 @@ class DecisionTreeClassifier:
         """Predict the label for a feature mapping (missing features read as 0)."""
         vector = [features.get(name, 0.0) for name in self._feature_names]
         return self.predict_vector(vector)
+
+    def compiled(
+        self, feature_names: Sequence[str] | None = None
+    ) -> CompiledTreeEvaluator:
+        """The tree flattened into a :class:`CompiledTreeEvaluator` (cached).
+
+        *feature_names* selects the column order the evaluator's rows use; it
+        defaults to the order the tree was fitted on.  Evaluators are cached
+        per order and invalidated when the tree is refitted.
+        """
+        root = self._require_fitted()
+        key = tuple(feature_names) if feature_names is not None else self._feature_names
+        evaluator = self._compiled_cache.get(key)
+        if evaluator is None:
+            evaluator = CompiledTreeEvaluator(root, key)
+            self._compiled_cache[key] = evaluator
+        return evaluator
+
+    def predict_matrix(self, matrix: np.ndarray) -> list[str]:
+        """Labels for a matrix in the tree's fitted column order (vectorized)."""
+        return self.compiled().predict_matrix(matrix)
 
     def decision_path(self, features: Mapping[str, float]) -> list[TreeNode]:
         """The internal nodes and leaf visited while classifying *features*."""

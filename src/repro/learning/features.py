@@ -22,7 +22,9 @@ identical representation in both phases.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Mapping
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.cloud.vm import VMTypeCatalog
 from repro.search.problem import SchedulingProblem, SearchNode
@@ -91,6 +93,58 @@ class FeatureExtractor:
             )
             for vm_type in vm_types
         }
+        self._build_columns()
+
+    def _build_columns(self) -> None:
+        """Precompute the column layout used by the vectorized fast path.
+
+        The canonical feature order is ``wait_time`` (when enabled) followed by
+        one fixed-size block per template, so every per-template family lands
+        on a regular stride: family ``k`` of template ``j`` lives at column
+        ``base + k + j * stride``.  :meth:`extract_into` exploits this with
+        strided slice assignments instead of per-feature dict stores.
+        """
+        per_template = tuple(
+            family
+            for family in ("proportion_of", "supports", "cost_of", "have")
+            if family in self._families
+        )
+        base = 1 if "wait_time" in self._families else 0
+        self._wait_column = 0 if base else -1
+        stride = len(per_template)
+        num_templates = len(self._templates.names)
+
+        def _columns(rank: int) -> tuple[int, ...]:
+            return tuple(base + rank + stride * j for j in range(num_templates))
+
+        starts = {family: rank for rank, family in enumerate(per_template)}
+        self._proportion_columns: tuple[int, ...] | None = (
+            _columns(starts["proportion_of"]) if "proportion_of" in starts else None
+        )
+        self._supports_columns: tuple[int, ...] | None = (
+            _columns(starts["supports"]) if "supports" in starts else None
+        )
+        self._cost_columns: tuple[int, ...] | None = (
+            _columns(starts["cost_of"]) if "cost_of" in starts else None
+        )
+        self._have_columns: tuple[int, ...] | None = (
+            _columns(starts["have"]) if "have" in starts else None
+        )
+        self._proportion_column_of: dict[str, int] = (
+            {
+                name: column
+                for name, column in zip(
+                    self._templates.names, self._proportion_columns or ()
+                )
+            }
+            if self._proportion_columns is not None
+            else {}
+        )
+        self._template_names: tuple[str, ...] = self._templates.names
+        # Cost-row provider of the problem most recently extracted against,
+        # resolved once per problem object instead of via getattr per vertex.
+        self._last_problem: object | None = None
+        self._last_cost_row = None
 
     def _build_feature_names(self) -> tuple[str, ...]:
         names: list[str] = []
@@ -124,6 +178,12 @@ class FeatureExtractor:
 
     def extract(self, node: SearchNode, problem: SchedulingProblem) -> dict[str, float]:
         """The feature vector of *node* within *problem* (name → value).
+
+        This is the dict-returning compatibility path (and the reference
+        implementation the ``REPRO_SLOW_PATH=1`` escape hatch forces); the hot
+        paths write preallocated numpy rows via :meth:`extract_into` /
+        :meth:`matrix` instead, and the equivalence tests assert the two
+        implementations agree feature-for-feature, bit-for-bit.
 
         The per-template loop leans on precomputed state — the supports row of
         the most recent VM's type, a single queue histogram for the
@@ -171,6 +231,88 @@ class FeatureExtractor:
                     1.0 if node.state.has_remaining(template) else 0.0
                 )
         return features
+
+    def extract_into(self, node: SearchNode, problem: SchedulingProblem, out_row):
+        """Write the feature vector of *node* directly into *out_row*.
+
+        *out_row* is any preallocated mutable row of ``len(feature_names)``
+        entries — a numpy float64 row (the :meth:`matrix` path) or a plain
+        list (the per-decision hot loop, where scalar list stores beat numpy
+        item assignment at WiSeDB's feature-vector sizes).  Every enabled
+        column is overwritten, so the buffer needs no zeroing between calls.
+        The values are bit-identical to :meth:`extract`'s — same arithmetic,
+        same order — but no per-vertex dict is built.  Returns *out_row*.
+        """
+        state = node.state
+        last = state.last_vm()
+        last_queue: tuple[str, ...] = last[1] if last is not None else ()
+        names = self._template_names
+
+        if self._wait_column >= 0:
+            out_row[self._wait_column] = node.last_vm_finish
+
+        proportion_columns = self._proportion_columns
+        if proportion_columns is not None:
+            for column in proportion_columns:
+                out_row[column] = 0.0
+            if last_queue:
+                queue_length = len(last_queue)
+                column_of = self._proportion_column_of
+                # Inline histogram: the last VM's queue is short, so a dict
+                # loop beats a Counter construction per vertex.
+                counts: dict[str, int] = {}
+                counts_get = counts.get
+                for name in last_queue:
+                    counts[name] = counts_get(name, 0) + 1
+                for name, count in counts.items():
+                    out_row[column_of[name]] = count / queue_length
+
+        supports_columns = self._supports_columns
+        if supports_columns is not None:
+            if last is not None:
+                for column, value in zip(supports_columns, self._supports_rows[last[0]]):
+                    out_row[column] = value
+            else:
+                for column in supports_columns:
+                    out_row[column] = 0.0
+
+        cost_columns = self._cost_columns
+        if cost_columns is not None:
+            if problem is self._last_problem:
+                cost_row = self._last_cost_row
+            else:
+                cost_row = getattr(problem, "placement_cost_row", None)
+                self._last_problem = problem
+                self._last_cost_row = cost_row
+            if cost_row is not None:
+                costs = cost_row(node, names)
+            else:
+                edge_cost = problem.placement_edge_cost
+                costs = [edge_cost(node, name) for name in names]
+            inf = float("inf")
+            for column, cost in zip(cost_columns, costs):
+                out_row[column] = INFEASIBLE_COST if cost == inf else cost
+
+        have_columns = self._have_columns
+        if have_columns is not None:
+            present = state.remaining_name_set()
+            for column, name in zip(have_columns, names):
+                out_row[column] = 1.0 if name in present else 0.0
+        return out_row
+
+    def matrix(
+        self, nodes: Sequence[SearchNode], problem: SchedulingProblem
+    ) -> np.ndarray:
+        """A ``(len(nodes), len(feature_names))`` feature matrix for *nodes*.
+
+        Rows are written in place by :meth:`extract_into`; used by
+        ``collect_examples`` when assembling training sets and by the runtime
+        schedulers when batching decisions.
+        """
+        out = np.zeros((len(nodes), len(self._feature_names)), dtype=float)
+        for index, node in enumerate(nodes):
+            self.extract_into(node, problem, out[index])
+        return out
 
     def vector(self, features: Mapping[str, float]) -> list[float]:
         """Order a feature mapping into the extractor's canonical vector form."""

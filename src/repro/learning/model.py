@@ -26,15 +26,18 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Mapping
 
+import numpy as np
+
 from repro.cloud.latency import (
     LatencyModel,
     latency_model_from_dict,
     latency_model_to_dict,
 )
 from repro.cloud.vm import VMType, VMTypeCatalog
+from repro.config import slow_path_enabled
 from repro.exceptions import ModelError
 from repro.learning.decision_tree import DecisionTreeClassifier
-from repro.learning.features import FeatureExtractor
+from repro.learning.features import FeatureExtractor, cost_feature
 from repro.search.actions import Action, PlaceQuery, ProvisionVM, action_from_label
 from repro.search.problem import SchedulingProblem, SearchNode
 from repro.sla.base import PerformanceGoal
@@ -105,6 +108,42 @@ class DecisionModel:
         self._metadata = metadata or ModelMetadata(goal_kind=goal.kind)
         self._penalty_guard = penalty_guard
         self.stats = DecisionStats()
+        #: Lazily built compiled evaluator + reusable feature-row buffer for
+        #: the vectorized inference fast path (see :meth:`decide`).  The row
+        #: buffer is a plain list: scalar list stores beat numpy item
+        #: assignment at WiSeDB's feature-vector sizes, and the compiled
+        #: evaluator indexes either representation.
+        self._evaluator = None
+        self._row_buffer: list[float] | None = None
+        #: raw tree label -> parsed Action (or None for unparseable labels).
+        self._action_cache: dict[str, Action | None] = {}
+        #: template name -> cheapest supporting VM type (catalogue and latency
+        #: model are immutable, so the answer never changes per model).
+        self._preferred_vm_cache: dict[str, VMType] = {}
+        #: (vm type name, template name) -> execution cost (running cost x
+        #: latency), memoized for the penalty guard's hot path.
+        self._execution_cost_cache: dict[tuple[str, str], float] = {}
+        #: vm type name -> per-template runtime tables (see :meth:`vm_tables`).
+        self._vm_tables: dict[
+            str,
+            tuple[
+                tuple[str, ...],
+                list[bool],
+                list[float],
+                list[float],
+                bool,
+                dict[str, float],
+            ],
+        ] = {}
+        #: template name -> cost-of-X column in the extractor's row layout
+        #: (lets the guard reuse the Equation-2 cost already computed during
+        #: feature extraction instead of re-deriving it per guarded placement).
+        column_of = {name: index for index, name in enumerate(extractor.feature_names)}
+        self._cost_column_of: dict[str, int] = {
+            template: column_of[cost_feature(template)]
+            for template in templates.names
+            if cost_feature(template) in column_of
+        }
 
     # -- accessors -------------------------------------------------------------
 
@@ -247,17 +286,64 @@ class DecisionModel:
         """The raw decision-tree label for a feature mapping."""
         return self._tree.predict(features)
 
+    def _compiled_evaluator(self):
+        """The fitted tree compiled onto the extractor's feature-row layout."""
+        if self._evaluator is None:
+            self._evaluator = self._tree.compiled(self._extractor.feature_names)
+        return self._evaluator
+
+    def _inference_row(self) -> list[float]:
+        """The model's reusable (single-threaded) feature-row buffer."""
+        row = self._row_buffer
+        if row is None:
+            row = [0.0] * len(self._extractor.feature_names)
+            self._row_buffer = row
+        return row
+
+    def predict_row(self, row: np.ndarray) -> str:
+        """The raw label for one feature row in the extractor's column order."""
+        return self._compiled_evaluator().predict_row(row)
+
+    def predict_matrix(self, matrix: np.ndarray) -> list[str]:
+        """Raw labels for a feature matrix in the extractor's column order."""
+        return self._compiled_evaluator().predict_matrix(matrix)
+
     # -- validated decisions --------------------------------------------------------
 
-    def decide(self, node: SearchNode, problem: SchedulingProblem) -> Action:
-        """The model's (validated) action for the scheduling state *node*."""
-        features = self._extractor.extract(node, problem)
-        raw_label = self._tree.predict(features)
+    def decide(
+        self,
+        node: SearchNode,
+        problem: SchedulingProblem,
+        slow_path: bool | None = None,
+    ) -> Action:
+        """The model's (validated) action for the scheduling state *node*.
+
+        The decision itself runs on the vectorized fast path — the feature
+        vector is written into a preallocated row and classified by the
+        compiled tree evaluator — unless ``REPRO_SLOW_PATH=1`` forces the
+        legacy dict-extraction / node-walk path.  Both paths produce identical
+        labels (asserted by the golden-scenario and equivalence suites).
+        *slow_path* lets a scheduler resolve the environment check once per
+        run instead of once per decision; ``None`` consults the environment.
+        """
+        if slow_path is None:
+            slow_path = slow_path_enabled()
+        if slow_path:
+            features = self._extractor.extract(node, problem)
+            raw_label = self._tree.predict(features)
+            row = None
+        else:
+            row = self._extractor.extract_into(node, problem, self._inference_row())
+            raw_label = self._compiled_evaluator().predict_row(row)
         try:
-            action = action_from_label(raw_label)
-        except ValueError:
-            action = None
-        validated = self._validate(action, node, problem)
+            action = self._action_cache[raw_label]
+        except KeyError:
+            try:
+                action = action_from_label(raw_label)
+            except ValueError:
+                action = None
+            self._action_cache[raw_label] = action
+        validated = self._validate(action, node, problem, row)
         self.stats.decisions += 1
         if action is None or validated != action:
             self.stats.fallbacks += 1
@@ -270,7 +356,11 @@ class DecisionModel:
     # -- validation and fallbacks -----------------------------------------------------
 
     def _validate(
-        self, action: Action | None, node: SearchNode, problem: SchedulingProblem
+        self,
+        action: Action | None,
+        node: SearchNode,
+        problem: SchedulingProblem,
+        row=None,
     ) -> Action:
         state = node.state
         if not state.remaining:
@@ -294,12 +384,12 @@ class DecisionModel:
             if state.has_remaining(action.template_name) and vm_type.supports(
                 action.template_name
             ):
-                return self._apply_penalty_guard(action, node, problem)
+                return self._apply_penalty_guard(action, node, problem, row)
             fallback = self._fallback_placement(
                 node, problem, preferred=action.template_name
             )
             if isinstance(fallback, PlaceQuery):
-                return self._apply_penalty_guard(fallback, node, problem)
+                return self._apply_penalty_guard(fallback, node, problem, row)
             return fallback
 
         # Unparseable label: place something sensible, or provision if we must.
@@ -307,8 +397,72 @@ class DecisionModel:
             return ProvisionVM(self._vm_types.default.name)
         return self._fallback_placement(node, problem)
 
+    def vm_tables(
+        self, vm_type_name: str, template_names: tuple[str, ...]
+    ) -> tuple[
+        tuple[str, ...],
+        list[bool],
+        list[float],
+        list[float],
+        bool,
+        dict[str, float],
+    ]:
+        """Per-template runtime tables of one VM type, resolved once per model.
+
+        ``(template names, supports flags, execution times, execution costs,
+        all-supported flag, execution time by name)``.  The catalogue and
+        latency model never change under a model, so the schedulers share
+        these across scheduling runs — the online scheduler in particular
+        stops re-deriving them for every arrival epoch's batch pass.
+        """
+        tables = self._vm_tables.get(vm_type_name)
+        if tables is None or (
+            tables[0] is not template_names and tables[0] != tuple(template_names)
+        ):
+            vm_type = self._vm_types[vm_type_name]
+            supports: list[bool] = []
+            execution_times: list[float] = []
+            execution_costs: list[float] = []
+            time_of: dict[str, float] = {}
+            for name in template_names:
+                if vm_type.supports(name):
+                    execution_time = self._latency_model.latency(name, vm_type)
+                    supports.append(True)
+                    execution_times.append(execution_time)
+                    execution_costs.append(vm_type.running_cost * execution_time)
+                    time_of[name] = execution_time
+                else:
+                    supports.append(False)
+                    execution_times.append(float("inf"))
+                    execution_costs.append(float("inf"))
+            tables = (
+                tuple(template_names),
+                supports,
+                execution_times,
+                execution_costs,
+                all(supports),
+                time_of,
+            )
+            self._vm_tables[vm_type_name] = tables
+        return tables
+
+    def _execution_cost(self, vm_type: VMType, template_name: str) -> float:
+        """Memoized ``running_cost x latency`` of one placement."""
+        key = (vm_type.name, template_name)
+        cached = self._execution_cost_cache.get(key)
+        if cached is None:
+            cached = vm_type.running_cost * self._latency_model.latency(
+                template_name, vm_type
+            )
+            self._execution_cost_cache[key] = cached
+        return cached
+
     def _apply_penalty_guard(
-        self, action: PlaceQuery, node: SearchNode, problem: SchedulingProblem
+        self,
+        action: PlaceQuery,
+        node: SearchNode,
+        problem: SchedulingProblem,
+        row=None,
     ) -> Action:
         """Swap a clearly loss-making placement for a provisioning action.
 
@@ -318,6 +472,12 @@ class DecisionModel:
         The guard compensates for feature-space regions that the (scaled-down)
         training corpus covers only sparsely; it can be disabled via
         :meth:`with_penalty_guard` and is ablated in the benchmark suite.
+
+        On the fast path *row* carries the feature vector just extracted, so
+        the placement's Equation-2 cost is read back from its ``cost-of-X``
+        column instead of being re-derived (the guard is only reached for
+        feasible placements, whose cost is finite and therefore identical in
+        the row and in :meth:`~repro.search.problem.SchedulingProblem.placement_edge_cost`).
         """
         if not self._penalty_guard:
             return action
@@ -326,10 +486,15 @@ class DecisionModel:
             # Provisioning is not allowed on top of an empty VM; keep placing.
             return action
         vm_type = self._vm_types[last[0]]
-        execution_cost = vm_type.running_cost * self._latency_model.latency(
-            action.template_name, vm_type
+        execution_cost = self._execution_cost(vm_type, action.template_name)
+        cost_column = (
+            self._cost_column_of.get(action.template_name) if row is not None else None
         )
-        penalty_part = problem.placement_edge_cost(node, action.template_name) - execution_cost
+        if cost_column is not None:
+            edge_cost = row[cost_column]
+        else:
+            edge_cost = problem.placement_edge_cost(node, action.template_name)
+        penalty_part = edge_cost - execution_cost
         replacement_vm = self._preferred_vm_type(action.template_name)
         if penalty_part > replacement_vm.startup_cost:
             self.stats.guard_activations += 1
@@ -366,13 +531,22 @@ class DecisionModel:
         return PlaceQuery(chosen)
 
     def _preferred_vm_type(self, template_name: str) -> VMType:
-        """Cheapest VM type (by execution cost) able to process *template_name*."""
+        """Cheapest VM type (by execution cost) able to process *template_name*.
+
+        Memoized: the catalogue and latency model never change under a model,
+        and the penalty guard asks this question once per guarded placement.
+        """
+        cached = self._preferred_vm_cache.get(template_name)
+        if cached is not None:
+            return cached
         supporting = self._vm_types.supporting(template_name)
         if not supporting:
             raise ModelError(
                 f"no VM type in the catalogue supports template {template_name!r}"
             )
-        return min(
+        preferred = min(
             supporting,
             key=lambda vm: vm.running_cost * self._latency_model.latency(template_name, vm),
         )
+        self._preferred_vm_cache[template_name] = preferred
+        return preferred

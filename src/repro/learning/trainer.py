@@ -37,9 +37,9 @@ from typing import Callable, Sequence
 
 from repro.cloud.latency import LatencyModel, TemplateLatencyModel
 from repro.cloud.vm import VMTypeCatalog, single_vm_type_catalog
-from repro.config import TrainingConfig
+from repro.config import TrainingConfig, slow_path_enabled
 from repro.exceptions import SearchBudgetExceeded, TrainingError
-from repro.learning.dataset import TrainingExample, TrainingSet
+from repro.learning.dataset import TrainingExample, TrainingSet, examples_from_matrix
 from repro.learning.decision_tree import DecisionTreeClassifier
 from repro.learning.features import FEATURE_FAMILIES, FeatureExtractor
 from repro.learning.model import DecisionModel, ModelMetadata
@@ -158,14 +158,30 @@ def collect_examples(
     max_expansions: int | None = None,
     extra_lower_bound: Callable[[SearchNode], float] | None = None,
 ) -> tuple[list[TrainingExample], SearchResult]:
-    """Solve *problem* optimally and label every decision on the optimal path."""
+    """Solve *problem* optimally and label every decision on the optimal path.
+
+    Feature rows are assembled through the extractor's batch
+    :meth:`~repro.learning.features.FeatureExtractor.matrix` fast path (one
+    preallocated matrix for the whole optimal path instead of one dict per
+    vertex); ``REPRO_SLOW_PATH=1`` falls back to the legacy per-vertex dicts.
+    Both paths produce bit-identical training sets.
+    """
     result = astar_search(
         problem, max_expansions=max_expansions, extra_lower_bound=extra_lower_bound
     )
-    examples = [
-        TrainingExample(features=extractor.extract(node, problem), label=action.label)
-        for node, action in result.decisions()
-    ]
+    decisions = list(result.decisions())
+    if slow_path_enabled():
+        examples = [
+            TrainingExample(features=extractor.extract(node, problem), label=action.label)
+            for node, action in decisions
+        ]
+    else:
+        matrix = extractor.matrix([node for node, _ in decisions], problem)
+        examples = examples_from_matrix(
+            extractor.feature_names,
+            matrix,
+            [action.label for _, action in decisions],
+        )
     return examples, result
 
 

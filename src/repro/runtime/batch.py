@@ -24,6 +24,7 @@ from collections import Counter, defaultdict, deque
 from dataclasses import dataclass, field
 
 from repro.cloud.vm import VMType
+from repro.config import slow_path_enabled
 from repro.core.schedule import Schedule, VMAssignment
 from repro.core.scheduler import SchedulerOverhead, SchedulingOutcome, simulated_outcome
 from repro.exceptions import ScheduleError
@@ -46,10 +47,62 @@ class RuntimeSchedulingContext:
     """
 
     def __init__(self, model: DecisionModel) -> None:
+        self._model = model
         self._vm_types = model.vm_types
         self._goal = model.goal
         self._latency_model = model.latency_model
         self._accumulator = model.goal.accumulator()
+        self._rate = model.goal.penalty_rate
+        self._last_vm_name: str | None = None
+        self._last_tables = None
+
+    def placement_cost_row(
+        self, node: SearchNode, template_names: tuple[str, ...]
+    ) -> list[float]:
+        """Equation-2 edge weights for every template at once (row fast path).
+
+        Mirrors per-template :meth:`placement_edge_cost` calls bit-for-bit,
+        but resolves the most recent VM, its latency/cost table (shared across
+        runs via :meth:`~repro.learning.model.DecisionModel.vm_tables`), and
+        the accumulator's current violation once per decision instead of once
+        per template.  ``inf`` marks infeasible placements.
+        """
+        last = node.state.last_vm()
+        if last is None:
+            return [float("inf")] * len(template_names)
+        vm_name = last[0]
+        if vm_name == self._last_vm_name:
+            tables = self._last_tables
+        else:
+            tables = self._model.vm_tables(vm_name, template_names)
+            self._last_vm_name = vm_name
+            self._last_tables = tables
+        _, supports, execution_times, execution_costs, all_supported, _ = tables
+        accumulator = self._accumulator
+        rate = self._rate
+        finish = node.last_vm_finish
+        base_violation = accumulator.violation()
+        inf = float("inf")
+        if all_supported:
+            # Common case (every template runs on this VM type): one row call
+            # into the accumulator instead of one dispatch per template.
+            completions = [finish + execution for execution in execution_times]
+            violations = accumulator.violations_with_row(template_names, completions)
+            return [
+                cost + rate * (violation - base_violation)
+                for cost, violation in zip(execution_costs, violations)
+            ]
+        costs: list[float] = []
+        for index, template_name in enumerate(template_names):
+            if not supports[index]:
+                costs.append(inf)
+                continue
+            completion = finish + execution_times[index]
+            penalty_delta = rate * (
+                accumulator.violation_with(template_name, completion) - base_violation
+            )
+            costs.append(execution_costs[index] + penalty_delta)
+        return costs
 
     def placement_edge_cost(self, node: SearchNode, template_name: str) -> float:
         """Equation-2 edge weight for placing *template_name* at *node*."""
@@ -153,49 +206,90 @@ class BatchScheduler:
 
         pools = self._build_pools(workload)
         remaining: Counter[str] = Counter({name: len(pool) for name, pool in pools.items()})
+        # The frozen remaining-multiset is maintained incrementally (one
+        # decrement per placement) instead of being re-sorted per decision.
+        remaining_frozen = freeze_counts(remaining)
+        remaining_total = sum(remaining.values())
         context = RuntimeSchedulingContext(self._model)
+        slow_path = slow_path_enabled()
 
         vms: list[tuple[VMType, list[Query]]] = []
         placed_on_existing: list[Query] = []
+        queue_tuple: tuple[str, ...] = ()
         if existing_vm_type is not None:
             last_vm_type: VMType | None = existing_vm_type
-            last_templates: list[str] = []
             last_finish = existing_vm_busy_time
             on_existing = True
+            vms_state: tuple = ((existing_vm_type.name, ()),)
         else:
             last_vm_type = None
-            last_templates = []
             last_finish = 0.0
             on_existing = False
+            vms_state = ()
 
         decisions = 0
+        decide = self._model.decide
         latency_model = self._model.latency_model
+        time_of = self._execution_times_for(last_vm_type)
         max_decisions = 2 * len(workload) + len(workload) + 2
-        while sum(remaining.values()) > 0:
+
+        # One reusable vertex: the model and the runtime context read the
+        # node's state and wait time but never retain them, so the per-decision
+        # vertex is a single mutated (state, node) pair instead of two fresh
+        # objects per model parse.  Only the most recent VM is represented —
+        # the model never looks further back.
+        state = SearchState.__new__(SearchState)
+        state_dict = state.__dict__
+        node = SearchNode(
+            state=state,
+            parent=None,
+            action=None,
+            infra_cost=0.0,
+            penalty=0.0,
+            outcomes=(),
+            last_vm_finish=0.0,
+            depth=0,
+        )
+
+        while remaining_total > 0:
             decisions += 1
             if decisions > max_decisions:
                 raise ScheduleError(
                     "the decision model failed to converge on a complete schedule"
                 )
-            node = self._make_node(last_vm_type, last_templates, last_finish, remaining)
-            action = self._model.decide(node, context)
+            state_dict.clear()
+            state_dict["vms"] = vms_state
+            state_dict["remaining"] = remaining_frozen
+            node.last_vm_finish = last_finish
+            action = decide(node, context, slow_path=slow_path)
             if isinstance(action, ProvisionVM):
                 vm_type = self._model.vm_types[action.vm_type_name]
                 vms.append((vm_type, []))
                 last_vm_type = vm_type
-                last_templates = []
+                queue_tuple = ()
+                vms_state = ((vm_type.name, ()),)
                 last_finish = 0.0
                 on_existing = False
+                time_of = self._execution_times_for(vm_type)
                 continue
             assert isinstance(action, PlaceQuery)
             assert last_vm_type is not None  # model.decide provisions first otherwise
-            query = pools[action.template_name].popleft()
-            remaining[action.template_name] -= 1
-            execution_time = latency_model.latency(action.template_name, last_vm_type)
+            template_name = action.template_name
+            query = pools[template_name].popleft()
+            remaining_frozen = tuple(
+                (name, count - 1) if name == template_name else (name, count)
+                for name, count in remaining_frozen
+                if name != template_name or count > 1
+            )
+            remaining_total -= 1
+            execution_time = time_of.get(template_name) if time_of is not None else None
+            if execution_time is None:
+                execution_time = latency_model.latency(template_name, last_vm_type)
             completion = last_finish + execution_time
-            context.record_placement(action.template_name, completion)
+            context.record_placement(template_name, completion)
             last_finish = completion
-            last_templates.append(action.template_name)
+            queue_tuple += (template_name,)
+            vms_state = ((last_vm_type.name, queue_tuple),)
             if on_existing:
                 placed_on_existing.append(query)
             else:
@@ -212,6 +306,24 @@ class BatchScheduler:
 
     # -- internals ---------------------------------------------------------------
 
+    def _execution_times_for(self, vm_type: VMType | None) -> dict[str, float] | None:
+        """Execution times by template for *vm_type*, from the model's tables.
+
+        ``None`` when there is no VM yet, or when *vm_type* is not the
+        catalogue's instance of that name (an online run continuing a VM rented
+        under a different specification) — the caller then falls back to
+        per-placement latency-model calls, the legacy behaviour.
+        """
+        if vm_type is None:
+            return None
+        vm_types = self._model.vm_types
+        if vm_type.name not in vm_types or vm_types[vm_type.name] != vm_type:
+            return None
+        tables = self._model.vm_tables(vm_type.name, self._model.templates.names)
+        # Every placement resolves through the model's template vocabulary, so
+        # a partial table (unsupported templates) is still keyed correctly.
+        return tables[5]
+
     def _build_pools(self, workload: Workload) -> dict[str, deque[Query]]:
         """Group queries by the template the model will treat them as."""
         model_templates = self._model.templates
@@ -225,31 +337,3 @@ class BatchScheduler:
             pools[perceived].append(query)
         return pools
 
-    @staticmethod
-    def _make_node(
-        last_vm_type: VMType | None,
-        last_templates: list[str],
-        last_finish: float,
-        remaining: Counter[str],
-    ) -> SearchNode:
-        """A lightweight search node describing the scheduler's current state.
-
-        Only the most recent VM is represented (the model never looks further
-        back), which keeps node construction O(size of the last VM's queue)
-        even for workloads of tens of thousands of queries.
-        """
-        if last_vm_type is None:
-            vms: tuple = ()
-        else:
-            vms = ((last_vm_type.name, tuple(last_templates)),)
-        state = SearchState(vms=vms, remaining=freeze_counts(remaining))
-        return SearchNode(
-            state=state,
-            parent=None,
-            action=None,
-            infra_cost=0.0,
-            penalty=0.0,
-            outcomes=(),
-            last_vm_finish=last_finish,
-            depth=0,
-        )

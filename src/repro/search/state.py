@@ -80,11 +80,20 @@ class SearchState:
 
     def has_remaining(self, template_name: str) -> bool:
         """True when at least one query of *template_name* is unassigned."""
+        return template_name in self.remaining_name_set()
+
+    def remaining_name_set(self) -> frozenset[str]:
+        """Distinct unassigned template names as a set (cached on first use).
+
+        Hot paths that test many templates against one state (the ``have-X``
+        feature loop) fetch this once instead of paying a method call per
+        template.
+        """
         cached = self.__dict__.get("_remaining_names")
         if cached is None:
             cached = frozenset(name for name, _ in self.remaining)
             object.__setattr__(self, "_remaining_names", cached)
-        return template_name in cached
+        return cached
 
     def is_goal(self) -> bool:
         """True when every query has been assigned (a complete schedule)."""

@@ -84,6 +84,7 @@ class TemplateSet:
             raise SpecificationError(f"duplicate template names: {sorted(names)}")
         self._templates: tuple[QueryTemplate, ...] = tuple(templates)
         self._by_name: dict[str, QueryTemplate] = {t.name: t for t in templates}
+        self._names: tuple[str, ...] = tuple(names)
 
     # -- container protocol -------------------------------------------------
 
@@ -120,8 +121,11 @@ class TemplateSet:
 
     @property
     def names(self) -> tuple[str, ...]:
-        """Template names, in declaration order."""
-        return tuple(t.name for t in self._templates)
+        """Template names, in declaration order (cached; the set is immutable).
+
+        Hot paths read this per decision, so it must not rebuild the tuple.
+        """
+        return self._names
 
     def get(self, name: str) -> QueryTemplate:
         """Return the template called *name* (:class:`UnknownTemplateError` if absent)."""

@@ -11,6 +11,30 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Regenerate the golden-scenario files under tests/golden/ instead "
+            "of comparing against them (deliberate act: review the diff)."
+        ),
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long-running tests excluded from the fast CI split"
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite the golden-scenario files."""
+    return bool(request.config.getoption("--regen-golden"))
+
 from repro import units
 from repro.cloud.latency import TemplateLatencyModel
 from repro.cloud.vm import single_vm_type_catalog, two_vm_type_catalog

@@ -60,9 +60,15 @@ def test_online_report_accounting(trained_max, model_generator, arrival_workload
 
 
 def test_online_batch_arrivals_match_batch_scheduler_cost_scale(
-    trained_max, model_generator, small_templates
+    trained_max, model_generator, small_templates, monkeypatch
 ):
-    """With all arrivals at t=0 the online run should behave like batch scheduling."""
+    """With all arrivals at t=0 the online run degenerates to batch scheduling.
+
+    Simultaneous arrivals form a single epoch, so the whole workload is
+    scheduled in one pass with the base model — exactly what the batch
+    scheduler does — and the costs agree to the cent.
+    """
+    monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
     workload = WorkloadGenerator(small_templates, seed=22).uniform(12)
     scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
     report = scheduler.run_report(workload)
@@ -70,9 +76,35 @@ def test_online_batch_arrivals_match_batch_scheduler_cost_scale(
     batch_cost = CostModel(trained_max.model.latency_model).total_cost(
         batch_schedule, trained_max.goal
     )
-    assert report.total_cost == pytest.approx(batch_cost, rel=0.25)
+    assert report.total_cost == pytest.approx(batch_cost)
     assert report.retrains == 0
-    assert report.base_model_uses == len(workload)
+    assert report.base_model_uses == 1
+    assert len(report.scheduling_overheads) == 1
+
+
+def test_online_simultaneous_arrivals_form_one_epoch(
+    trained_max, model_generator, small_templates, monkeypatch
+):
+    """Bursts sharing a timestamp are scheduled in one pass; the legacy
+    per-query loop (REPRO_SLOW_PATH=1) still schedules every query."""
+    monkeypatch.delenv("REPRO_SLOW_PATH", raising=False)
+    generator = WorkloadGenerator(small_templates, seed=25)
+    workload = generator.uniform(6)
+    burst = workload.with_queries(
+        q.with_arrival_time(30.0 * (index // 2)) for index, q in enumerate(workload)
+    )
+    report = _scheduler(
+        trained_max, model_generator, OnlineOptimizations.all()
+    ).run_report(burst)
+    assert len(report.outcomes) == len(burst)
+    assert len(report.scheduling_overheads) == 3  # one per distinct arrival time
+
+    monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+    legacy = _scheduler(
+        trained_max, model_generator, OnlineOptimizations.all()
+    ).run_report(burst)
+    assert len(legacy.outcomes) == len(burst)
+    assert len(legacy.scheduling_overheads) == len(burst)
 
 
 def test_shift_optimization_triggers_for_shiftable_goal(
@@ -101,6 +133,35 @@ def test_reuse_caches_models(trained_average, model_generator, small_templates):
     # With a coarse wait resolution every wait rounds to the same signature,
     # so at most a couple of models are ever trained.
     assert report.retrains <= 2
+
+
+def test_run_and_run_report_share_one_execution(
+    trained_max, model_generator, arrival_workload
+):
+    """run() + run_report() on the same workload must not double the work.
+
+    Historically each method ran its own arrival loop, so overhead counters
+    (and retrains) doubled when both were consulted.  The pass is memoized per
+    workload object; a different workload still triggers a fresh pass.
+    """
+    scheduler = _scheduler(trained_max, model_generator, OnlineOptimizations.all())
+    outcome = scheduler.run(arrival_workload)
+    report = scheduler.run_report(arrival_workload)
+    assert outcome.query_outcomes == report.outcomes
+    assert outcome.cost == report.cost
+    assert outcome.overhead.retrains == report.retrains
+    # One pass: the report's wall-clock overheads are the outcome's, verbatim.
+    assert outcome.overhead.wall_time_seconds == report.total_overhead
+    assert outcome.overhead.decisions == len(report.scheduling_overheads)
+
+    # A distinct workload object starts a fresh execution.
+    other = WorkloadGenerator(
+        arrival_workload.templates, seed=26
+    ).with_fixed_arrivals(
+        WorkloadGenerator(arrival_workload.templates, seed=26).uniform(4), delay=50.0
+    )
+    fresh = scheduler.run_report(other)
+    assert len(fresh.outcomes) == len(other)
 
 
 def test_online_rejects_bad_resolution(trained_max, model_generator):

@@ -1,0 +1,316 @@
+"""Property tests: the vectorized inference fast path equals the legacy path.
+
+Three independent implementations must agree bit-for-bit:
+
+* feature extraction — the dict-returning :meth:`FeatureExtractor.extract`
+  (legacy), the preallocated-row :meth:`FeatureExtractor.extract_into`, and
+  the batch :meth:`FeatureExtractor.matrix`;
+* tree evaluation — the :class:`TreeNode` walk (``predict_vector`` /
+  ``predict``) and the compiled flat-array evaluator (``predict_row`` /
+  ``predict_matrix``), including compilation onto an external feature order
+  with missing features constant-folded to 0.0;
+* online scheduling — the epoch-batched arrival loop and the legacy
+  one-pass-per-query loop (``REPRO_SLOW_PATH=1``) on arrival streams with
+  distinct timestamps, where the two groupings must coincide exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import random as random_module
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.cloud.latency import TemplateLatencyModel
+from repro.cloud.vm import single_vm_type_catalog, two_vm_type_catalog
+from repro.learning.decision_tree import DecisionTreeClassifier
+from repro.learning.features import FeatureExtractor
+from repro.runtime.batch import BatchScheduler, RuntimeSchedulingContext
+from repro.runtime.online import OnlineOptimizations, OnlineScheduler
+from repro.search.problem import SchedulingProblem
+from repro.sla.factory import GOAL_KINDS, default_goal
+from repro.workloads.query import Query
+from repro.workloads.templates import QueryTemplate, TemplateSet
+from repro.workloads.workload import Workload
+
+# ---------------------------------------------------------------------------
+# Feature extraction: dict vs row vs matrix
+# ---------------------------------------------------------------------------
+
+
+def _build_problem(kind: str, counts: list[int], two_types: bool):
+    templates = TemplateSet(
+        [
+            QueryTemplate(name=f"T{i + 1}", base_latency=units.minutes(i + 1))
+            for i in range(len(counts))
+        ]
+    )
+    if two_types:
+        vm_types = two_vm_type_catalog(slow_templates=[templates.names[-1]])
+    else:
+        vm_types = single_vm_type_catalog()
+    goal = default_goal(kind, templates)
+    problem = SchedulingProblem(
+        template_counts={
+            name: count for name, count in zip(templates.names, counts) if count
+        },
+        templates=templates,
+        vm_types=vm_types,
+        goal=goal,
+        latency_model=TemplateLatencyModel(templates),
+    )
+    return templates, vm_types, problem
+
+
+def _random_walk(problem, rng: random_module.Random, max_steps: int):
+    """Nodes visited along a random successor walk from the initial vertex."""
+    node = problem.initial_node()
+    nodes = [node]
+    for _ in range(max_steps):
+        successors = problem.expand(node)
+        if not successors:
+            break
+        node = rng.choice(successors)
+        nodes.append(node)
+    return nodes
+
+
+@pytest.mark.slow
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    kind=st.sampled_from(GOAL_KINDS),
+    counts=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=4).filter(
+        lambda values: sum(values) >= 2
+    ),
+    two_types=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_extract_row_and_matrix_match_dict(kind, counts, two_types, seed):
+    templates, vm_types, problem = _build_problem(kind, counts, two_types)
+    extractor = FeatureExtractor(templates, vm_types)
+    rng = random_module.Random(seed)
+    nodes = _random_walk(problem, rng, max_steps=sum(counts) + 3)
+
+    matrix = extractor.matrix(nodes, problem)
+    assert matrix.shape == (len(nodes), len(extractor.feature_names))
+    for index, node in enumerate(nodes):
+        legacy = extractor.extract(node, problem)
+        assert tuple(legacy) == extractor.feature_names  # same order, same names
+        row = extractor.extract_into(node, problem, np.zeros(len(extractor.feature_names)))
+        list_row = extractor.extract_into(
+            node, problem, [0.0] * len(extractor.feature_names)
+        )
+        expected = [legacy[name] for name in extractor.feature_names]
+        assert row.tolist() == expected
+        assert list_row == expected
+        assert matrix[index].tolist() == expected
+
+
+@pytest.mark.slow
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    kind=st.sampled_from(GOAL_KINDS),
+    counts=st.lists(st.integers(min_value=1, max_value=3), min_size=2, max_size=3),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_problem_cost_row_matches_scalar(kind, counts, seed):
+    """The search problem's cost row equals per-template scalar edge costs."""
+    templates, vm_types, problem = _build_problem(kind, counts, two_types=True)
+    extractor = FeatureExtractor(templates, vm_types)
+    rng = random_module.Random(seed)
+    for node in _random_walk(problem, rng, max_steps=sum(counts) + 3):
+        row = problem.placement_cost_row(node, templates.names)
+        scalar = [
+            problem.placement_edge_cost(node, name) for name in templates.names
+        ]
+        assert row == scalar
+
+
+# ---------------------------------------------------------------------------
+# Decision tree: compiled evaluator vs node walk
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_compiled_tree_matches_node_walk(data):
+    n_features = data.draw(st.integers(min_value=1, max_value=5))
+    n_rows = data.draw(st.integers(min_value=4, max_value=40))
+    matrix = np.asarray(
+        data.draw(
+            st.lists(
+                st.lists(
+                    st.floats(
+                        min_value=-100, max_value=100, allow_nan=False, width=32
+                    ),
+                    min_size=n_features,
+                    max_size=n_features,
+                ),
+                min_size=n_rows,
+                max_size=n_rows,
+            )
+        ),
+        dtype=float,
+    )
+    labels = data.draw(
+        st.lists(
+            st.sampled_from(["place[T1]", "place[T2]", "provision[vm]"]),
+            min_size=n_rows,
+            max_size=n_rows,
+        )
+    )
+    feature_names = [f"f{i}" for i in range(n_features)]
+    tree = DecisionTreeClassifier(max_depth=8, min_samples_leaf=1).fit(
+        matrix, labels, feature_names
+    )
+
+    walked = [tree.predict_vector(row) for row in matrix]
+    compiled = tree.compiled()
+    assert [compiled.predict_row(row) for row in matrix] == walked
+    assert tree.predict_matrix(matrix) == walked
+
+    # Compilation onto a shuffled superset order, exercising the re-mapping.
+    extended = feature_names + ["extra"]
+    rng = random_module.Random(data.draw(st.integers(0, 2**16)))
+    rng.shuffle(extended)
+    remapped = tree.compiled(extended)
+    column_of = {name: index for index, name in enumerate(extended)}
+    wide = np.zeros((n_rows, len(extended)))
+    for name, source in zip(feature_names, range(n_features)):
+        wide[:, column_of[name]] = matrix[:, source]
+    assert [remapped.predict_row(row) for row in wide] == walked
+    assert remapped.predict_matrix(wide) == walked
+
+    # Missing features constant-fold exactly like predict()'s 0.0 default.
+    dropped = data.draw(st.sampled_from(feature_names))
+    reduced_order = [name for name in feature_names if name != dropped]
+    folded = tree.compiled(reduced_order)
+    reduced_columns = [feature_names.index(name) for name in reduced_order]
+    for row in matrix:
+        mapping = {name: row[feature_names.index(name)] for name in reduced_order}
+        assert folded.predict_row(row[reduced_columns]) == tree.predict(mapping)
+
+
+def test_compiled_cache_invalidated_by_refit():
+    matrix = np.asarray([[0.0], [1.0], [2.0], [3.0]])
+    tree = DecisionTreeClassifier(min_samples_leaf=1).fit(
+        matrix, ["a", "a", "b", "b"], ["x"]
+    )
+    first = tree.compiled()
+    assert tree.compiled() is first  # cached
+    tree.fit(matrix, ["b", "b", "a", "a"], ["x"])
+    assert tree.compiled() is not first
+    assert tree.compiled().predict_row([0.0]) == tree.predict_vector([0.0])
+
+
+# ---------------------------------------------------------------------------
+# Online scheduling: epoch batching vs the per-query reference loop
+# ---------------------------------------------------------------------------
+
+
+def _outcome_key(outcome):
+    return (
+        tuple(
+            (vm.vm_type.name, tuple(query.query_id for query in vm.queries))
+            for vm in outcome.schedule
+        ),
+        (outcome.cost.startup_cost, outcome.cost.execution_cost, outcome.cost.penalty_cost),
+        tuple(
+            (
+                record.query_id,
+                record.template_name,
+                record.vm_index,
+                record.start_time,
+                record.completion_time,
+            )
+            for record in outcome.query_outcomes
+        ),
+    )
+
+
+@pytest.mark.slow
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    gaps=st.lists(
+        st.floats(min_value=1.0, max_value=120.0, allow_nan=False),
+        min_size=2,
+        max_size=8,
+    ),
+    template_picks=st.lists(st.integers(min_value=0, max_value=2), min_size=8, max_size=8),
+)
+def test_batched_online_equals_per_query_reference(
+    gaps, template_picks, trained_max, model_generator, small_templates
+):
+    """Distinct arrival times: epoch batching must equal the legacy loop."""
+    names = small_templates.names
+    arrival = 0.0
+    queries = []
+    for index, gap in enumerate(gaps):
+        arrival += gap  # strictly increasing => every epoch is one query
+        queries.append(
+            Query(
+                template_name=names[template_picks[index % len(template_picks)] % len(names)],
+                arrival_time=arrival,
+            )
+        )
+    workload = Workload(small_templates, queries)
+
+    def run():
+        return OnlineScheduler(
+            base_training=trained_max,
+            generator=model_generator,
+            optimizations=OnlineOptimizations.all(),
+            wait_resolution=60.0,
+        ).run(workload)
+
+    saved = os.environ.pop("REPRO_SLOW_PATH", None)
+    try:
+        batched = run()
+        os.environ["REPRO_SLOW_PATH"] = "1"
+        reference = run()
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SLOW_PATH", None)
+        else:
+            os.environ["REPRO_SLOW_PATH"] = saved
+
+    assert _outcome_key(batched) == _outcome_key(reference)
+    assert batched.overhead.decisions == reference.overhead.decisions
+    assert batched.overhead.retrains == reference.overhead.retrains
+
+
+def test_batch_scheduler_fast_and_slow_paths_identical(trained_max, small_templates):
+    """One non-property spot check through the public batch scheduler."""
+    from repro.workloads.generator import WorkloadGenerator
+
+    workload = WorkloadGenerator(small_templates, seed=31).uniform(40)
+    scheduler = BatchScheduler(trained_max.model)
+    saved = os.environ.pop("REPRO_SLOW_PATH", None)
+    try:
+        fast = scheduler.run(workload)
+        os.environ["REPRO_SLOW_PATH"] = "1"
+        slow = scheduler.run(workload)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_SLOW_PATH", None)
+        else:
+            os.environ["REPRO_SLOW_PATH"] = saved
+    assert _outcome_key(fast) == _outcome_key(slow)
+
+
+def test_context_row_tables_shared_across_schedulers(trained_max, small_templates):
+    """The per-VM tables live on the model, so fresh contexts reuse them."""
+    model = trained_max.model
+    first = RuntimeSchedulingContext(model)
+    tables = model.vm_tables(model.vm_types.default.name, small_templates.names)
+    again = model.vm_tables(model.vm_types.default.name, small_templates.names)
+    assert tables is again
+    del first
+    second = RuntimeSchedulingContext(model)
+    assert model.vm_tables(model.vm_types.default.name, small_templates.names) is tables
+    del second
