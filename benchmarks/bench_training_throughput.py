@@ -13,8 +13,12 @@ type):
 Both are recorded per goal kind for ``n_jobs=1`` and for ``n_jobs=-1`` (all
 CPUs — the per-sample solves are embarrassingly parallel, so multi-core hosts
 should see near-linear scaling; single-core CI will show parity or a small
-pool overhead).  Results are written to ``BENCH_training_throughput.json`` via
-the shared harness for commit-over-commit comparison.
+pool overhead).  A third series, ``pool_warm_reuse``, times repeated
+``generate`` calls with a cold process pool per call (the historical
+behaviour) against one warm shared :class:`ProcessPoolBackend`, isolating the
+per-call pool start-up the persistent backend eliminates.  Results are merged
+into ``BENCH_training_throughput.json`` (preserving the series other
+benchmarks keep there) for commit-over-commit comparison.
 
 Reference points (same single-core container, warm, best of repeats, small
 scale): the seed implementation expanded ~14-25k vertices/sec depending on the
@@ -28,18 +32,17 @@ above 2x.  Multi-core hosts additionally scale the solve phase with
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 from repro.config import TrainingConfig
 from repro.evaluation.harness import format_table
 from repro.learning.trainer import ModelGenerator
+from repro.parallel.backend import ProcessPoolBackend
 from repro.sla.factory import GOAL_KINDS, default_goal
 from repro.workloads.templates import tpch_templates
 
-from conftest import print_figure, write_bench_json
+from conftest import merge_bench_json, print_figure
 
 
 def _measure(templates, kind: str, n_jobs: int, scale) -> dict:
@@ -73,6 +76,49 @@ def _run(scale):
     return rows
 
 
+def _measure_pool_reuse(scale, calls: int = 3, n_jobs: int = 2) -> dict:
+    """Repeated ``generate`` calls: a cold pool per call vs one warm pool.
+
+    ``cold_s`` re-creates (and tears down) the process pool around every call
+    — the historical per-call behaviour — while ``warm_s`` routes every call
+    through one shared :class:`ProcessPoolBackend` that spawns once and stays
+    warm.  Output is bit-identical either way; the delta is pure pool
+    start-up, which is what the persistent backend eliminates.
+    """
+    templates = tpch_templates(10)
+    config = scale.training.with_samples(
+        max(10, scale.training.num_samples // 4)
+    ).with_n_jobs(n_jobs)
+    goal = default_goal("max", templates)
+
+    cold_s = 0.0
+    for _ in range(calls):
+        backend = ProcessPoolBackend(n_jobs)
+        generator = ModelGenerator(templates, config=config, backend=backend)
+        started = time.perf_counter()
+        generator.generate(goal)
+        cold_s += time.perf_counter() - started
+        backend.close()
+
+    warm_s = 0.0
+    with ModelGenerator(templates, config=config) as generator:
+        for _ in range(calls):
+            started = time.perf_counter()
+            generator.generate(goal)
+            warm_s += time.perf_counter() - started
+        spawns = getattr(generator.backend, "spawn_count", 0)
+
+    return {
+        "calls": calls,
+        "n_jobs": n_jobs,
+        "samples_per_call": config.num_samples,
+        "cold_pool_s": round(cold_s, 3),
+        "warm_pool_s": round(warm_s, 3),
+        "warm_spawns": spawns,
+        "speedup": round(cold_s / max(warm_s, 1e-9), 2),
+    }
+
+
 def test_training_throughput(benchmark, scale):
     rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
     columns = [
@@ -90,23 +136,25 @@ def test_training_throughput(benchmark, scale):
         "Training throughput — incremental-penalty A* core",
         format_table(rows, columns),
     )
+    pool_reuse = _measure_pool_reuse(scale)
+    print_figure(
+        "Warm-pool reuse — repeated generate calls, cold pool per call vs shared",
+        format_table([pool_reuse], list(pool_reuse)),
+    )
     payload = {
         "scale": scale.name,
         "cpu_count": os.cpu_count(),
         "rows": rows,
+        "pool_warm_reuse": pool_reuse,
     }
-    # Preserve the per-decision series maintained by
-    # bench_online_decision_path.py — the two benchmarks share this file.
-    existing = Path(__file__).resolve().parent.parent / "BENCH_training_throughput.json"
-    if existing.exists():
-        previous = json.loads(existing.read_text())
-        if "online_decision_us" in previous:
-            payload["online_decision_us"] = previous["online_decision_us"]
-    path = write_bench_json("training_throughput", payload)
+    # merge_bench_json preserves the series other benchmarks maintain in this
+    # file (online_decision_us, adaptive_bound_us, ...).
+    path = merge_bench_json("training_throughput", payload)
     print(f"(written to {path})")
     for row in rows:
         assert row["samples"] > 0
         assert row["expansions_per_s"] > 0
+    assert pool_reuse["warm_spawns"] <= 1
 
 
 def test_training_output_independent_of_n_jobs(scale):

@@ -127,3 +127,20 @@ def write_bench_json(name: str, payload: dict) -> Path:
     path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def merge_bench_json(name: str, payload: dict) -> Path:
+    """Like :func:`write_bench_json`, but preserve series written by others.
+
+    Several benchmarks share ``BENCH_training_throughput.json`` (the
+    throughput rows, the ``online_decision_us`` series, the warm-pool and
+    adaptive-bound series); each writer replaces only its own keys and keeps
+    whatever else the file already holds, so one run never erases another's
+    history.
+    """
+    path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    if path.exists():
+        previous = json.loads(path.read_text())
+        for key, value in previous.items():
+            payload.setdefault(key, value)
+    return write_bench_json(name, payload)

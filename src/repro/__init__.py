@@ -27,6 +27,8 @@ heuristic baselines — answers through one protocol:
 * :mod:`repro.search` — the scheduling graph and A* optimal-schedule search.
 * :mod:`repro.learning` — feature extraction, decision-tree learning, training.
 * :mod:`repro.adaptive` — adaptive modeling and strategy recommendation.
+* :mod:`repro.parallel` — shared execution backends (warm process pool /
+  serial) the embarrassingly parallel training solves fan out through.
 * :mod:`repro.runtime` — batch and online schedulers, cost estimation.
 * :mod:`repro.baselines` — FFD, FFI, Pack9 and trivial reference schedulers.
 * :mod:`repro.evaluation` — the experiment harness behind ``benchmarks/``.
@@ -63,6 +65,11 @@ tracks the resulting expansions/sec and samples/sec.
 
 from repro.config import TrainingConfig
 from repro.core.advisor import WiSeDBAdvisor
+from repro.parallel.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+)
 from repro.core.cost_model import CostBreakdown, CostModel
 from repro.core.schedule import Schedule, VMAssignment
 from repro.core.scheduler import Scheduler, SchedulerOverhead, SchedulingOutcome
@@ -76,7 +83,10 @@ __version__ = "2.0.0"
 __all__ = [
     "CostBreakdown",
     "CostModel",
+    "ExecutionBackend",
     "ModelRegistry",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "QueryTemplate",
     "Schedule",
     "Scheduler",

@@ -15,9 +15,20 @@ stricter (Lemma 5.1), so the re-search stays exact while pruning far more
 aggressively than a fresh search.
 
 Like fresh training, the per-sample re-searches are independent, so they run
-through the same ``n_jobs`` worker pool as
+through the same :class:`~repro.parallel.backend.ExecutionBackend` as
 :meth:`repro.learning.trainer.ModelGenerator.generate` (the bound objects are
-picklable) with results merged in sample order for bit-identical output.
+picklable) with results merged in sample order for bit-identical output.  The
+backend defaults to the generator's — one warm process pool serves fresh
+training and every subsequent retraining — which is exactly the
+many-small-retrainings pattern of Figure 16.
+
+The old-goal penalty inside ``h'`` is computed *incrementally*: search nodes
+of a retraining problem carry a second, old-goal
+:class:`~repro.sla.accumulators.ViolationAccumulator` (copy-on-write, exactly
+like the primary one), so :meth:`AdaptiveBound.__call__` reads an O(1) cached
+delta instead of re-evaluating the old goal over the node's full outcome
+tuple.  ``REPRO_SLOW_PATH=1`` forces the legacy full re-evaluation; both
+paths are bit-identical (asserted by the adaptive equivalence suite).
 """
 
 from __future__ import annotations
@@ -33,8 +44,8 @@ from repro.learning.trainer import (
     SampleSolution,
     SampleSolver,
     TrainingResult,
-    solve_samples,
 )
+from repro.parallel.backend import ExecutionBackend
 from repro.search.problem import SearchNode
 from repro.sla.base import PerformanceGoal
 
@@ -44,16 +55,35 @@ class AdaptiveBound:
     """The Section-5 lower bound ``cost(R', v) + [cost(R, g) - cost(R, v)]``.
 
     ``cost(R', v)`` is the node's partial cost under the new goal (already part
-    of the node); ``cost(R, v)`` is re-evaluated under the old goal using the
-    node's lightweight outcomes.  A frozen dataclass rather than a closure so
-    the bound can cross process boundaries when retraining runs in parallel.
+    of the node); ``cost(R, v)`` is answered by the node's *auxiliary* old-goal
+    accumulator when the retraining problem carries one (see
+    :attr:`~repro.search.problem.SearchNode.aux_penalty` — an O(1) read instead
+    of re-evaluating the old goal over the full outcome tuple per generated
+    node), falling back to the full re-evaluation for nodes built without it
+    (externally constructed nodes, or ``REPRO_SLOW_PATH=1``).  Both paths are
+    bit-identical: the accumulators agree with the batch penalty definition
+    bit-for-bit.  A frozen dataclass rather than a closure so the bound can
+    cross process boundaries when retraining runs in parallel.
     """
 
     old_goal: PerformanceGoal
     old_optimal_cost: float
 
+    @property
+    def aux_goal(self) -> PerformanceGoal:
+        """The goal whose penalty search nodes should carry incrementally.
+
+        :meth:`SampleSolver.solve` reads this to build the retraining
+        :class:`~repro.search.problem.SchedulingProblem` with the old goal as
+        its auxiliary goal.
+        """
+        return self.old_goal
+
     def __call__(self, node: SearchNode) -> float:
-        old_partial = node.infra_cost + self.old_goal.penalty(node.outcomes)
+        old_penalty = node.aux_penalty
+        if old_penalty < 0.0:  # no auxiliary accumulator on this node
+            old_penalty = self.old_goal.penalty(node.outcomes)
+        old_partial = node.infra_cost + old_penalty
         return node.partial_cost + max(0.0, self.old_optimal_cost - old_partial)
 
 
@@ -69,9 +99,19 @@ class AdaptiveRetrainingReport:
 
 
 class AdaptiveModeler:
-    """Derives models for stricter goals from an existing training run."""
+    """Derives models for stricter goals from an existing training run.
 
-    def __init__(self, generator: ModelGenerator, base_result: TrainingResult) -> None:
+    ``backend`` optionally overrides the execution backend the re-searches fan
+    out through; by default they share the generator's (warm) backend, so
+    consecutive retrainings never pay pool start-up.
+    """
+
+    def __init__(
+        self,
+        generator: ModelGenerator,
+        base_result: TrainingResult,
+        backend: ExecutionBackend | None = None,
+    ) -> None:
         if not base_result.workloads:
             raise TrainingError(
                 "adaptive modeling requires the base TrainingResult to retain its "
@@ -79,6 +119,12 @@ class AdaptiveModeler:
             )
         self._generator = generator
         self._base = base_result
+        self._backend = backend
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The backend retraining solves run through (the generator's by default)."""
+        return self._backend if self._backend is not None else self._generator.backend
 
     @property
     def base_result(self) -> TrainingResult:
@@ -124,10 +170,8 @@ class AdaptiveModeler:
                     )
             tasks.append((index, workload, extra_bound))
         # The re-searches are as independent as fresh training solves, so they
-        # fan out across the same worker pool (deterministic sample order).
-        payloads = solve_samples(
-            solver, tasks, self._generator.config.effective_n_jobs()
-        )
+        # fan out across the same (warm) backend (deterministic sample order).
+        payloads = self.backend.map_tasks(solver, tasks)
         for payload in payloads:
             if payload is None:
                 skipped += 1

@@ -188,8 +188,19 @@ class TrainingConfig:
 
     def effective_n_jobs(self) -> int:
         """The resolved worker count (every value below 1 means "all CPUs")."""
-        if self.n_jobs > 0:
-            return self.n_jobs
-        import os
+        from repro.parallel.backend import resolve_n_jobs
 
-        return max(1, os.cpu_count() or 1)
+        return resolve_n_jobs(self.n_jobs)
+
+    def create_backend(self):
+        """A fresh :class:`~repro.parallel.backend.ExecutionBackend` for this config.
+
+        ``n_jobs == 1`` yields the in-process serial backend; anything else a
+        lazily spawned, warm-reusable process pool
+        (:class:`~repro.parallel.backend.ProcessPoolBackend`).  The caller
+        owns the returned backend's lifecycle (``close()`` / context manager);
+        output is bit-identical whichever backend runs the solves.
+        """
+        from repro.parallel.backend import backend_for
+
+        return backend_for(self.n_jobs)

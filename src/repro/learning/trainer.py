@@ -19,14 +19,18 @@ Parallel training
 -----------------
 
 The per-sample A* solves are embarrassingly parallel (each sample's scheduling
-graph is independent), so step 2 fans out across worker processes when
-:attr:`~repro.config.TrainingConfig.n_jobs` is not 1.  Each worker receives the
-full specification once (via the pool initializer) and solves ``(index,
-workload)`` tasks; the driver reassembles results **in sample order**, so the
+graph is independent), so step 2 fans out through an
+:class:`~repro.parallel.backend.ExecutionBackend` when
+:attr:`~repro.config.TrainingConfig.n_jobs` is not 1.  The backend is *shared
+and persistent*: a generator (or a whole
+:class:`~repro.service.service.WiSeDBService`) holds one warm
+:class:`~repro.parallel.backend.ProcessPoolBackend` and reuses it across
+``generate``/``retrain`` calls, so repeated trainings no longer pay per-call
+pool start-up.  The driver reassembles results **in sample order**, so the
 training set, the fitted tree, and every downstream artefact are bit-identical
-for any ``n_jobs`` value (asserted by the determinism tests).  Environments
-where process pools are unavailable fall back to the sequential path
-transparently.
+for any ``n_jobs`` value and any backend (asserted by the determinism tests).
+Environments where process pools are unavailable fall back to the sequential
+path transparently.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ from repro.learning.decision_tree import DecisionTreeClassifier
 from repro.learning.features import FEATURE_FAMILIES, FeatureExtractor
 from repro.learning.model import DecisionModel, ModelMetadata
 from repro.learning.sampling import training_workloads
+from repro.parallel.backend import ExecutionBackend, backend_for
 from repro.search.astar import SearchResult, astar_search
 from repro.search.problem import SchedulingProblem, SearchNode
 from repro.sla.base import PerformanceGoal
@@ -188,11 +193,15 @@ def collect_examples(
 class SampleSolver:
     """Solves one training sample: everything a worker process needs, pickled once.
 
-    Instances are shipped to each pool worker through the initializer (not per
-    task), so the specification — VM catalogue, goal, latency model, feature
-    extractor — crosses the process boundary a single time.  ``extra_bound``
-    optionally carries a picklable admissible-bound callable (the adaptive-A*
-    hook of Section 5).
+    Instances are the worker callable an
+    :class:`~repro.parallel.backend.ExecutionBackend` ships to its processes;
+    the specification — VM catalogue, goal, latency model, feature extractor —
+    is pickled once per ``map_tasks`` call rather than once per task.
+    ``extra_bound`` optionally carries a picklable admissible-bound callable
+    (the adaptive-A* hook of Section 5); when the bound advertises an
+    ``aux_goal`` (the old goal whose penalty it re-evaluates), the solver
+    builds the problem with that auxiliary goal so search nodes carry a second
+    incremental accumulator and the bound becomes an O(1)-O(log n) delta.
     """
 
     def __init__(
@@ -215,8 +224,14 @@ class SampleSolver:
         extra_bound: Callable[[SearchNode], float] | None = None,
     ) -> tuple[list[TrainingExample], SampleSolution] | None:
         """Optimal examples and solution for one sample (None = budget exceeded)."""
+        aux_goal = None
+        if extra_bound is not None and not slow_path_enabled():
+            # Adaptive-A* bounds advertise the old goal so its penalty can be
+            # carried incrementally on search nodes (REPRO_SLOW_PATH=1 keeps
+            # the legacy full re-evaluation as an escape hatch).
+            aux_goal = getattr(extra_bound, "aux_goal", None)
         problem = SchedulingProblem.for_workload(
-            workload, self.vm_types, self.goal, self.latency_model
+            workload, self.vm_types, self.goal, self.latency_model, aux_goal=aux_goal
         )
         try:
             examples, result = collect_examples(
@@ -234,87 +249,43 @@ class SampleSolver:
         )
         return examples, solution
 
-
-#: Per-process solver installed by the pool initializer.
-_WORKER_SOLVER: SampleSolver | None = None
-
-
-def _init_worker(solver: SampleSolver) -> None:
-    global _WORKER_SOLVER
-    _WORKER_SOLVER = solver
-
-
-def _solve_indexed(task):
-    """Pool task: ``(index, workload[, extra_bound])`` → ``(index, payload)``."""
-    index, workload = task[0], task[1]
-    extra_bound = task[2] if len(task) > 2 else None
-    assert _WORKER_SOLVER is not None  # installed by _init_worker
-    return index, _WORKER_SOLVER.solve(workload, extra_bound)
+    #: Worker-callable protocol of :meth:`ExecutionBackend.map_tasks`.
+    __call__ = solve
 
 
 def solve_samples(
     solver: SampleSolver,
     tasks: Sequence[tuple],
     n_jobs: int,
+    backend: ExecutionBackend | None = None,
 ) -> list:
     """Solve ``(index, workload[, extra_bound])`` tasks, returning payloads in task order.
 
-    Fans out across ``n_jobs`` worker processes when possible; any failure to
-    set up multiprocessing (restricted environments, unpicklable custom
-    components) degrades to the sequential path rather than erroring.  The
-    returned list is ordered by task index regardless of completion order, so
-    callers observe bit-identical results for every ``n_jobs``.
+    Compatibility wrapper over :meth:`ExecutionBackend.map_tasks`.  When a
+    *backend* is supplied it is used as-is (and stays warm for the caller to
+    reuse); otherwise a transient backend sized by ``n_jobs`` is created and
+    closed around the call, which preserves the historical per-call pool
+    behaviour.  Either way the returned list is ordered by task index
+    regardless of completion order, so callers observe bit-identical results
+    for every ``n_jobs`` and every backend.
     """
-    results: list = [None] * len(tasks)
-    if n_jobs > 1 and len(tasks) > 1:
-        import multiprocessing
-        import pickle
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
-
-        try:
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context()
-            workers = min(n_jobs, len(tasks))
-            chunksize = max(1, len(tasks) // (workers * 4))
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(solver,),
-            ) as pool:
-                for index, payload in pool.map(
-                    _solve_indexed, tasks, chunksize=chunksize
-                ):
-                    results[index] = payload
-            return results
-        except (  # pragma: no cover - depends on host capabilities
-            OSError,
-            pickle.PicklingError,
-            # CPython raises TypeError (locks, sockets, most C objects) or
-            # AttributeError (failed lookups) for many unpicklable values
-            # rather than PicklingError.
-            TypeError,
-            AttributeError,
-            BrokenProcessPool,
-        ):
-            # Pool setup / transport failures only (no fork, unpicklable
-            # specification components, workers killed): degrade to the
-            # sequential path.  Other deterministic errors raised by solve()
-            # propagate — re-solving thousands of samples sequentially just to
-            # rediscover them would silently burn the whole training budget.
-            results = [None] * len(tasks)
-    for task in tasks:
-        index, workload = task[0], task[1]
-        extra_bound = task[2] if len(task) > 2 else None
-        results[index] = solver.solve(workload, extra_bound)
-    return results
+    if backend is not None:
+        return backend.map_tasks(solver, tasks)
+    with backend_for(n_jobs) as transient:
+        return transient.map_tasks(solver, tasks)
 
 
 class ModelGenerator:
-    """Trains WiSeDB decision models for a fixed workload specification."""
+    """Trains WiSeDB decision models for a fixed workload specification.
+
+    ``backend`` optionally injects a shared
+    :class:`~repro.parallel.backend.ExecutionBackend` (e.g. one warm process
+    pool serving every tenant of a service); when omitted, the generator
+    lazily creates — and owns — the backend its configuration's ``n_jobs``
+    implies, keeping it warm across repeated :meth:`generate` calls.  Owned
+    backends are released by :meth:`close` (the generator is also a context
+    manager); injected backends belong to the caller.
+    """
 
     def __init__(
         self,
@@ -323,12 +294,15 @@ class ModelGenerator:
         latency_model: LatencyModel | None = None,
         config: TrainingConfig | None = None,
         feature_families: tuple[str, ...] = FEATURE_FAMILIES,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         self._templates = templates
         self._vm_types = vm_types or single_vm_type_catalog()
         self._latency_model = latency_model or TemplateLatencyModel(templates)
         self._config = config or TrainingConfig.fast()
         self._extractor = FeatureExtractor(templates, self._vm_types, feature_families)
+        self._backend = backend
+        self._owns_backend = False
 
     # -- accessors -----------------------------------------------------------------
 
@@ -356,6 +330,42 @@ class ModelGenerator:
     def extractor(self) -> FeatureExtractor:
         """The feature extractor shared by training and runtime."""
         return self._extractor
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend sample solves fan out through.
+
+        Created lazily from the configuration's ``n_jobs`` when none was
+        injected, and then kept warm for every later call.  If an injected
+        backend has been closed by its owner (a service that shut down while
+        this generator is still referenced by a scheduler or modeler), the
+        generator heals by replacing it with an owned one instead of failing
+        every later training call.
+        """
+        backend = self._backend
+        if backend is not None and getattr(backend, "closed", False):
+            backend = None
+        if backend is None:
+            backend = self._config.create_backend()
+            self._backend = backend
+            self._owns_backend = True
+        return backend
+
+    def close(self) -> None:
+        """Release the generator's owned backend (idempotent).
+
+        Injected backends are the caller's responsibility and stay open.
+        """
+        if self._owns_backend and self._backend is not None:
+            self._backend.close()
+            self._backend = None
+            self._owns_backend = False
+
+    def __enter__(self) -> "ModelGenerator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- training -------------------------------------------------------------------
 
@@ -395,10 +405,9 @@ class ModelGenerator:
             extractor=self._extractor,
             max_expansions=self._config.max_expansions,
         )
-        payloads = solve_samples(
+        payloads = self.backend.map_tasks(
             solver,
             [(index, workload) for index, workload in enumerate(workloads)],
-            self._config.effective_n_jobs(),
         )
         # Merge in sample order: training output is identical for any n_jobs.
         for payload in payloads:

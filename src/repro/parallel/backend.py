@@ -1,0 +1,299 @@
+"""Persistent execution backends for the embarrassingly parallel sample solves.
+
+The paper's training loop (Section 5, Figures 14-16) is dominated by
+independent per-sample A* searches, and the same fan-out pattern recurs in
+adaptive retraining, strategy recommendation, and the online scheduler's
+retraining path.  Historically every :meth:`ModelGenerator.generate` call
+spun up — and tore down — a fresh ``ProcessPoolExecutor``, so the
+many-small-retrainings pattern paid process start-up over and over.
+
+This module factors that execution concern into one small protocol:
+
+* :class:`ExecutionBackend` — ``map_tasks(worker, tasks)`` runs indexed tasks
+  through a worker callable and returns payloads **in task-index order**, so
+  every backend produces bit-identical results for the same inputs.
+* :class:`SerialBackend` — runs tasks in-process.  The reference semantics.
+* :class:`ProcessPoolBackend` — a *warm-reusable* process pool: the pool is
+  spawned lazily on the first parallel call and reused across calls (and
+  across owners — one shared backend can train and retrain every tenant of a
+  :class:`~repro.service.service.WiSeDBService`).  Lifecycle is explicit:
+  ``close()`` or a ``with`` block shuts the workers down; any failure to set
+  up or keep the pool (no ``fork``, unpicklable workers, killed children)
+  degrades that call to the serial path, preserving the repo-wide guarantee
+  that output is bit-identical for any ``n_jobs``.
+
+Worker shipping
+---------------
+
+A warm pool outlives any single worker callable (each ``generate``/``retrain``
+call builds its own :class:`~repro.learning.trainer.SampleSolver`), so the
+initializer trick used by the old per-call pool — pickle the solver once at
+pool start-up — no longer applies.  Instead the driver pickles the worker once
+into a blob and wraps it in a :class:`_PooledWorker` carrying a unique token;
+each pool process caches the unpickled worker by token, so the blob is
+deserialised once per process per ``map_tasks`` call (transport is once per
+chunk, which for the solver specifications involved is a few kilobytes).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+
+def resolve_n_jobs(n_jobs: int) -> int:
+    """The resolved worker count (every value below 1 means "all CPUs")."""
+    if n_jobs > 0:
+        return n_jobs
+    return max(1, os.cpu_count() or 1)
+
+
+class ExecutionBackend(ABC):
+    """Executes indexed tasks through a worker callable, in deterministic order.
+
+    Tasks are ``(index, *args)`` tuples; the worker is invoked as
+    ``worker(*args)`` and the returned list holds each task's payload at its
+    index, regardless of completion order — callers observe bit-identical
+    results whichever backend (or worker count) ran them.
+    """
+
+    #: Short machine-readable backend identifier.
+    kind: str = "abstract"
+
+    @abstractmethod
+    def map_tasks(self, worker: Callable, tasks: Sequence[tuple]) -> list:
+        """Run every task through *worker*, returning payloads by task index."""
+
+    def close(self) -> None:
+        """Release any resources held by the backend (idempotent)."""
+
+    # -- context-manager lifecycle -------------------------------------------------
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- cosmetics -----------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human-readable description of the backend."""
+        return self.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every task sequentially in the calling process."""
+
+    kind = "serial"
+
+    def map_tasks(self, worker: Callable, tasks: Sequence[tuple]) -> list:
+        results: list = [None] * len(tasks)
+        for task in tasks:
+            results[task[0]] = worker(*task[1:])
+        return results
+
+
+#: Per-process cache installed by :class:`_PooledWorker` (one slot: a map call
+#: uses exactly one worker, so older entries can never be needed again).
+_WORKER_CACHE: dict[int, Callable] = {}
+
+#: Process-wide token source for :class:`_PooledWorker` instances.
+_TOKEN_COUNTER = itertools.count(1)
+
+
+class _PooledWorker:
+    """The picklable task function shipped to pool processes.
+
+    Carries the serialized worker blob plus a token identifying it; pool
+    processes unpickle the blob once per token and serve subsequent tasks of
+    the same ``map_tasks`` call from the cache.
+    """
+
+    __slots__ = ("token", "blob")
+
+    def __init__(self, token: int, blob: bytes) -> None:
+        self.token = token
+        self.blob = blob
+
+    def __call__(self, task: tuple) -> tuple[int, object]:
+        worker = _WORKER_CACHE.get(self.token)
+        if worker is None:
+            worker = pickle.loads(self.blob)
+            _WORKER_CACHE.clear()
+            _WORKER_CACHE[self.token] = worker
+        return task[0], worker(*task[1:])
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """A lazily spawned, warm-reusable process pool.
+
+    The pool is created on the first call that can actually use it (more than
+    one task and more than one resolved worker) and *kept alive* across calls,
+    so repeated ``generate``/``retrain`` runs pay process start-up once.  Any
+    failure to set up or operate the pool degrades the affected call to the
+    serial path — results are bit-identical either way, the caller only loses
+    wall-clock.  After two consecutive pool failures the backend stops trying
+    to respawn and stays serial (``fallback_reason`` says why).
+    """
+
+    kind = "process_pool"
+
+    #: Consecutive pool failures tolerated before the backend pins itself serial.
+    _MAX_POOL_FAILURES = 2
+
+    def __init__(self, n_jobs: int = -1) -> None:
+        self._n_jobs = resolve_n_jobs(n_jobs)
+        self._pool = None
+        self._pool_size = 0
+        self._closed = False
+        self._pool_failures = 0
+        self._fallback_reason: str | None = None
+        #: Number of times a pool has been spawned (tests assert warm reuse).
+        self.spawn_count = 0
+        self._serial = SerialBackend()
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def n_jobs(self) -> int:
+        """The resolved worker count the pool is sized for."""
+        return self._n_jobs
+
+    @property
+    def is_warm(self) -> bool:
+        """True while a live pool is being held for reuse."""
+        return self._pool is not None
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def fallback_reason(self) -> str | None:
+        """Why the backend last degraded to serial (``None`` if it never did)."""
+        return self._fallback_reason
+
+    def describe(self) -> str:
+        state = "warm" if self.is_warm else ("closed" if self._closed else "cold")
+        return f"{self.kind}(n_jobs={self._n_jobs}, {state})"
+
+    # -- execution -----------------------------------------------------------------
+
+    def map_tasks(self, worker: Callable, tasks: Sequence[tuple]) -> list:
+        if self._closed:
+            raise RuntimeError("cannot map tasks on a closed ProcessPoolBackend")
+        workers = min(self._n_jobs, len(tasks))
+        if workers < 2 or self._pool_failures >= self._MAX_POOL_FAILURES:
+            return self._serial.map_tasks(worker, tasks)
+        try:
+            blob = pickle.dumps(worker)
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # CPython raises TypeError (locks, sockets, most C objects) or
+            # AttributeError (failed lookups) for many unpicklable values
+            # rather than PicklingError.  The pool itself is fine — only this
+            # worker cannot cross the process boundary.
+            self._fallback_reason = "worker is not picklable"
+            return self._serial.map_tasks(worker, tasks)
+        pool = self._ensure_pool(workers)
+        if pool is None:
+            return self._serial.map_tasks(worker, tasks)
+        from concurrent.futures.process import BrokenProcessPool
+
+        pooled = _PooledWorker(next(_TOKEN_COUNTER), blob)
+        results: list = [None] * len(tasks)
+        chunksize = max(1, len(tasks) // (workers * 4))
+        try:
+            for index, payload in pool.map(pooled, tasks, chunksize=chunksize):
+                results[index] = payload
+            self._pool_failures = 0
+            return results
+        except (BrokenProcessPool, OSError) as error:
+            # Workers killed (OOM, signals) or transport failed mid-run: the
+            # pool itself is unhealthy — drop it, count the failure towards
+            # the pin-serial threshold, and redo this call serially.
+            self._discard_pool()
+            self._pool_failures += 1
+            self._fallback_reason = f"pool failed mid-run: {type(error).__name__}"
+            return self._serial.map_tasks(worker, tasks)
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            # Task *arguments* (workloads, adaptive extra_bounds) are pickled
+            # lazily inside pool.map, and CPython surfaces unpicklable values
+            # as TypeError (locks, sockets, most C objects) or AttributeError
+            # (failed lookups) rather than PicklingError — the dumps()
+            # pre-check above only covers the worker itself.  The pool stays
+            # warm (it is healthy; this *call* is unparallelizable) and does
+            # not count towards the pin-serial threshold — a shared backend
+            # must not lose parallelism for every owner because one caller's
+            # tasks would not pickle.  A deterministic error raised by the
+            # worker re-raises from the serial rerun, so nothing is swallowed.
+            self._fallback_reason = f"call not parallelizable: {type(error).__name__}"
+            return self._serial.map_tasks(worker, tasks)
+
+    def _ensure_pool(self, workers: int):
+        """The live pool, spawned lazily (``None`` when spawning fails).
+
+        The pool is sized to the *observed* demand — ``min(n_jobs, len(tasks))``
+        of the current call — rather than eagerly to ``n_jobs``, so a wide
+        backend (``n_jobs=-1`` on a many-core host) serving small calls does
+        not keep a fleet of idle resident workers.  A later call needing more
+        workers than the current pool holds respawns it larger (sizes only
+        grow, so steady workloads respawn at most a handful of times).
+        """
+        if self._pool is not None and self._pool_size >= workers:
+            return self._pool
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._discard_pool()
+        try:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+            self._pool_size = workers
+            self.spawn_count += 1
+        except OSError as error:  # pragma: no cover - depends on host limits
+            self._pool = None
+            self._pool_failures += 1
+            self._fallback_reason = f"pool spawn failed: {type(error).__name__}"
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool = self._pool
+        self._pool = None
+        self._pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        self._closed = True
+        pool = self._pool
+        self._pool = None
+        self._pool_size = 0
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self._discard_pool()
+        except Exception:
+            pass
+
+
+def backend_for(n_jobs: int) -> ExecutionBackend:
+    """The natural backend for a worker count: serial for 1, a pool otherwise."""
+    if resolve_n_jobs(n_jobs) <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(n_jobs)

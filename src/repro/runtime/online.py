@@ -425,6 +425,9 @@ class OnlineScheduler:
             templates=augmented,
             vm_types=self._generator.vm_types,
             config=self._generator.config,
+            # Share the base generator's (warm) backend: every aged-template
+            # retrain would otherwise spawn — and leak — its own pool.
+            backend=self._generator.backend,
         )
         return generator.generate(goal).model
 

@@ -12,7 +12,13 @@ The implementation supports:
   valve against pathological SLAs);
 * an optional *extra lower bound* callback, which is how adaptive A*
   (Section 5) injects the improved heuristic ``h'`` derived from a previously
-  solved instance without changing the core search.
+  solved instance without changing the core search.  The callback is invoked
+  once per generated vertex, so it must be cheap: the adaptive bound reads the
+  node's auxiliary old-goal accumulator
+  (:attr:`~repro.search.problem.SearchNode.aux_penalty`, maintained
+  incrementally by :meth:`~repro.search.problem.SchedulingProblem.expand` when
+  the problem was built with an ``aux_goal``) instead of re-evaluating the old
+  goal over the node's full outcome tuple.
 """
 
 from __future__ import annotations
@@ -78,7 +84,11 @@ def astar_search(
     extra_lower_bound:
         Optional additional admissible bound; the node priority becomes the
         maximum of the problem's own bound and this callback's value.  Used by
-        adaptive A* (Section 5).
+        adaptive A* (Section 5).  Bounds that expose an ``aux_goal`` attribute
+        (e.g. :class:`~repro.adaptive.retraining.AdaptiveBound`) should be
+        paired with a problem constructed with that auxiliary goal so each
+        node carries the old-goal penalty incrementally; the callback then
+        runs in O(1) per generated vertex.
 
     Raises
     ------

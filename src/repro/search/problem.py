@@ -31,7 +31,10 @@ of queries already placed:
   partial schedule.  A placement edge branches the parent's accumulator and
   records one completion, so node penalties and Equation-2 edge weights are
   O(1)/O(log n) deltas instead of ``goal.penalty(outcomes)`` scans over the
-  whole outcome tuple (which made each optimal path quadratic).
+  whole outcome tuple (which made each optimal path quadratic).  Retraining
+  searches (adaptive A*, Section 5) carry a *second* accumulator for the
+  problem's ``aux_goal`` — the old goal — maintained the same copy-on-write
+  way, so the adaptive bound's ``cost(R, v)`` term is an O(1) read too.
 * **Interned ids and dense tables.**  Template names and VM type names are
   interned to integer ids at problem construction, and per-``(vm, template)``
   latency, execution-cost, and supports tables are precomputed, so ``expand``,
@@ -136,6 +139,15 @@ class SearchNode:
     #: otherwise — so the memo key is never rebuilt (or re-sorted) from the
     #: outcome tuple per generated vertex.
     latency_key: "tuple[float, ...] | None" = field(default=None)
+    #: Second, *auxiliary-goal* accumulator carried by retraining searches
+    #: (adaptive A*, Section 5): tracks the partial schedule's violation under
+    #: the problem's ``aux_goal`` — the *old* goal — copy-on-write exactly like
+    #: the primary accumulator.  ``None`` on ordinary searches.
+    aux_accumulator: ViolationAccumulator | None = field(default=None)
+    #: Partial penalty under the auxiliary goal (``-1.0`` = not carried), read
+    #: by :class:`~repro.adaptive.retraining.AdaptiveBound` as an O(1) delta
+    #: instead of re-evaluating the old goal over the full outcome tuple.
+    aux_penalty: float = field(default=-1.0)
 
     @property
     def partial_cost(self) -> float:
@@ -163,6 +175,7 @@ class SchedulingProblem:
         vm_types: VMTypeCatalog,
         goal: PerformanceGoal,
         latency_model: LatencyModel,
+        aux_goal: PerformanceGoal | None = None,
     ) -> None:
         counts = {name: count for name, count in dict(template_counts).items() if count > 0}
         for name in counts:
@@ -173,6 +186,18 @@ class SchedulingProblem:
         self._vm_types = vm_types
         self._goal = goal
         self._latency_model = latency_model
+        #: Optional second goal whose partial penalty every node carries
+        #: incrementally (adaptive A*: the *old* goal of a retraining search,
+        #: consumed by :class:`~repro.adaptive.retraining.AdaptiveBound`).
+        self._aux_goal = aux_goal
+        self._aux_rate = aux_goal.penalty_rate if aux_goal is not None else 0.0
+        #: When the old goal differs from the primary only by its deadline and
+        #: the primary accumulator's state is deadline-independent (average,
+        #: percentile), the old violation is read off the *primary*
+        #: accumulator at this deadline — no second accumulator at all.
+        self._aux_derived_deadline = (
+            goal.derived_aux_deadline(aux_goal) if aux_goal is not None else None
+        )
         self._build_tables()
         self._cheapest_execution = self._compute_cheapest_execution()
         #: remaining multiset -> (Equation-3 bound, cheapest remaining work time)
@@ -245,6 +270,7 @@ class SchedulingProblem:
         vm_types: VMTypeCatalog,
         goal: PerformanceGoal,
         latency_model: LatencyModel,
+        aux_goal: PerformanceGoal | None = None,
     ) -> "SchedulingProblem":
         """Build the problem for a concrete workload (counts its templates)."""
         return cls(
@@ -253,7 +279,13 @@ class SchedulingProblem:
             vm_types=vm_types,
             goal=goal,
             latency_model=latency_model,
+            aux_goal=aux_goal,
         )
+
+    @property
+    def aux_goal(self) -> PerformanceGoal | None:
+        """The auxiliary goal nodes carry a second accumulator for (or ``None``)."""
+        return self._aux_goal
 
     # -- accessors ---------------------------------------------------------------
 
@@ -298,6 +330,10 @@ class SchedulingProblem:
             depth=0,
             accumulator=self._goal.search_accumulator(),
         )
+        if self._aux_goal is not None:
+            if self._aux_derived_deadline is None:
+                node.aux_accumulator = self._aux_goal.search_accumulator()
+            node.aux_penalty = 0.0
         node.priority = self.priority(node)
         return node
 
@@ -330,6 +366,10 @@ class SchedulingProblem:
         depth = node.depth + 1
         parent_infra = node.infra_cost
         parent_accumulator = node.accumulator
+        aux_active = self._aux_goal is not None
+        parent_aux = node.aux_accumulator
+        aux_rate = self._aux_rate
+        aux_derived = self._aux_derived_deadline
         parent_remaining_total = state.remaining_total()
         monotonic = self._is_monotonic
         rate = self._rate
@@ -451,6 +491,24 @@ class SchedulingProblem:
                     accumulator,
                     vm_index,
                 )
+                if aux_active:
+                    if aux_derived is not None:
+                        # The old goal differs only by deadline: read its
+                        # violation off the child's primary accumulator (the
+                        # running mean / sorted list is deadline-independent).
+                        if accumulator is not None:
+                            child.aux_penalty = (
+                                aux_rate
+                                * accumulator.violation_for_deadline(aux_derived)
+                            )
+                    elif parent_aux is not None:
+                        # Second accumulator of retraining searches: the old
+                        # goal's penalty, maintained copy-on-write exactly like
+                        # the primary one (read by AdaptiveBound in O(1)).
+                        aux_accumulator = parent_aux.branch()
+                        aux_accumulator.add(template_name, completion)
+                        child.aux_accumulator = aux_accumulator
+                        child.aux_penalty = aux_rate * aux_accumulator.violation()
                 # -- inlined f-value (kept in sync with priority()) ---------------
                 child_remaining = child_state.remaining
                 if not child_remaining:
@@ -521,6 +579,11 @@ class SchedulingProblem:
                     parent_accumulator,
                     vm_index,
                 )
+                if aux_active:
+                    # Provisioning places no query: the old-goal penalty (and
+                    # any second accumulator) carries over unchanged.
+                    child.aux_accumulator = parent_aux
+                    child.aux_penalty = node.aux_penalty
                 # -- inlined f-value (kept in sync with priority()) ---------------
                 bound = infra + bounds[0]
                 if monotonic:

@@ -9,6 +9,12 @@ query instances once the optimal goal vertex is known.
 The representation is fully immutable and hashable so that the A* search can
 deduplicate states reached via different action orders (one of the redundancy
 eliminations that makes the graph search tractable).
+
+States deliberately carry *no* cost bookkeeping: everything incremental — the
+goal's violation accumulator, the retraining search's auxiliary old-goal
+accumulator, memo keys — lives on :class:`~repro.search.problem.SearchNode`,
+so two paths reaching the same vertex still compare (and hash) equal here
+while each node keeps its own O(1) copy-on-write penalty state.
 """
 
 from __future__ import annotations

@@ -18,6 +18,13 @@ Training goes through the registry:
 * otherwise the tenant trains fresh, and the result is registered for every
   later service (or process) to reuse.
 
+Whatever the path, the per-sample A* solves fan out through **one shared
+execution backend** (:mod:`repro.parallel`): the service lazily spawns a warm
+process pool (or injects the caller's) and every tenant's training *and*
+adaptive retraining reuses it, so a :meth:`WiSeDBService.train_all` sweep —
+or the many-small-retrainings pattern of Section 5 — pays pool start-up at
+most once.  ``service.close()`` (or a ``with`` block) releases the workers.
+
 Scheduling speaks the unified :class:`~repro.core.scheduler.Scheduler`
 protocol: batch and online runs both return a
 :class:`~repro.core.scheduler.SchedulingOutcome`, so callers handle every
@@ -49,6 +56,7 @@ from repro.core.scheduler import SchedulingOutcome
 from repro.exceptions import SpecificationError, TrainingError
 from repro.learning.model import DecisionModel
 from repro.learning.trainer import ModelGenerator, TrainingResult
+from repro.parallel.backend import ExecutionBackend, backend_for, resolve_n_jobs
 from repro.runtime.batch import BatchScheduler
 from repro.runtime.online import OnlineOptimizations, OnlineScheduler
 from repro.service.registry import ModelRegistry, fingerprint_payload
@@ -135,15 +143,23 @@ class TenantSpec:
 
 
 class Tenant:
-    """One registered application: its spec, generator, and trained model."""
+    """One registered application: its spec, generator, and trained model.
 
-    def __init__(self, spec: TenantSpec) -> None:
+    ``backend_factory`` optionally supplies the execution backend the tenant's
+    generator fans sample solves out through — the service passes its shared
+    warm pool here, so one set of worker processes trains and retrains every
+    tenant.  Standalone tenants (no factory) let the generator own a backend
+    derived from the spec's training configuration.
+    """
+
+    def __init__(self, spec: TenantSpec, backend_factory=None) -> None:
         self.spec = spec
         #: The most recent training result (``None`` until trained).
         self.training: TrainingResult | None = None
         #: How the current model was obtained: "fresh", "adaptive", or "registry".
         self.provenance: str | None = None
         self._generator: ModelGenerator | None = None
+        self._backend_factory = backend_factory
 
     @property
     def name(self) -> str:
@@ -154,11 +170,13 @@ class Tenant:
     def generator(self) -> ModelGenerator:
         """The tenant's model generator (built lazily from the spec)."""
         if self._generator is None:
+            backend = self._backend_factory() if self._backend_factory else None
             self._generator = ModelGenerator(
                 templates=self.spec.templates,
                 vm_types=self.spec.vm_types,
                 latency_model=self.spec.resolved_latency_model(),
                 config=self.spec.config,
+                backend=backend,
             )
         return self._generator
 
@@ -191,17 +209,26 @@ class WiSeDBService:
         self,
         registry: ModelRegistry | str | Path | None = None,
         n_jobs: int | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         """``registry`` may be an instance, a directory path, or ``None``
         (process-local registry).  ``n_jobs`` is the default worker count
         applied to every registered tenant's training configuration; output is
         bit-identical for any value, so it is purely a wall-clock knob.
+        ``backend`` optionally injects the execution backend every tenant's
+        training and retraining fans out through; when omitted the service
+        lazily creates — and owns — one shared warm backend sized by
+        ``n_jobs`` (or, if that is ``None``, by the widest tenant
+        configuration at first use), so consecutive (re)trainings across
+        tenants reuse one set of worker processes.
         """
         if isinstance(registry, (str, Path)):
             registry = ModelRegistry(registry)
         self._registry = registry if registry is not None else ModelRegistry()
         self._n_jobs = n_jobs
         self._tenants: dict[str, Tenant] = {}
+        self._backend = backend
+        self._owns_backend = False
 
     # -- registry and tenant access --------------------------------------------------
 
@@ -209,6 +236,65 @@ class WiSeDBService:
     def registry(self) -> ModelRegistry:
         """The model registry backing this service."""
         return self._registry
+
+    # -- the shared execution backend --------------------------------------------------
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The shared execution backend (created lazily when not injected).
+
+        One warm :class:`~repro.parallel.backend.ProcessPoolBackend` (or the
+        serial backend when every configuration resolves to one worker)
+        serves every tenant: :meth:`train_all` fans each tenant's sample
+        solves out through it, and adaptive retrainings reuse it too.  An
+        owned backend is sized by the service's ``n_jobs`` (or, if that is
+        ``None``, the widest registered tenant configuration) and *grows* if
+        a wider tenant registers later — tenant generators are rebuilt around
+        the replacement, so no configuration silently trains capped.
+        """
+        n_jobs = self._n_jobs
+        if n_jobs is None:
+            n_jobs = max(
+                (
+                    tenant.spec.config.effective_n_jobs()
+                    for tenant in self._tenants.values()
+                ),
+                default=1,
+            )
+        required = resolve_n_jobs(n_jobs)
+        if (
+            self._backend is not None
+            and self._owns_backend
+            and required > getattr(self._backend, "n_jobs", 1)
+        ):
+            self._backend.close()
+            self._backend = None
+            for tenant in self._tenants.values():
+                tenant._generator = None
+        if self._backend is None:
+            self._backend = backend_for(required)
+            self._owns_backend = True
+        return self._backend
+
+    def close(self) -> None:
+        """Shut down the service's owned backend (idempotent).
+
+        Injected backends belong to the caller and stay open.  Tenant
+        generators holding the released backend are dropped so later training
+        transparently builds a fresh shared backend.
+        """
+        if self._owns_backend and self._backend is not None:
+            self._backend.close()
+        self._backend = None
+        self._owns_backend = False
+        for tenant in self._tenants.values():
+            tenant._generator = None
+
+    def __enter__(self) -> "WiSeDBService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def tenant(self, name: str) -> Tenant:
         """The tenant registered under *name* (raises if unknown)."""
@@ -259,7 +345,7 @@ class WiSeDBService:
             config=config,
             latency_model=latency_model,
         )
-        tenant = Tenant(spec)
+        tenant = Tenant(spec, backend_factory=lambda: self.backend)
         self._tenants[name] = tenant
         return tenant
 
@@ -344,7 +430,13 @@ class WiSeDBService:
         return result
 
     def train_all(self, mode: str = "auto") -> dict[str, TrainingResult]:
-        """Train every registered tenant; returns results keyed by name."""
+        """Train every registered tenant; returns results keyed by name.
+
+        Every tenant's sample solves fan out through the one shared
+        :attr:`backend`, so the pool is spawned at most once for the whole
+        sweep — fresh trainings, adaptive retrainings, and registry hits all
+        reuse the same warm workers.
+        """
         return {name: self.train(name, mode=mode) for name in self._tenants}
 
     def training(self, name: str) -> TrainingResult:
@@ -509,7 +601,9 @@ class WiSeDBService:
                 )
             if n_jobs is not None:
                 spec = replace(spec, config=spec.config.with_n_jobs(n_jobs))
-            service._tenants[spec.name] = Tenant(spec)
+            service._tenants[spec.name] = Tenant(
+                spec, backend_factory=lambda: service.backend
+            )
             if entry.get("trained"):
                 if service._registry.get(fingerprint, n_jobs=spec.config.n_jobs) is None:
                     raise SpecificationError(

@@ -69,6 +69,22 @@ class ViolationAccumulator(ABC):
             for name, latency in zip(template_names, latencies)
         ]
 
+    def violation_for_deadline(self, deadline: float) -> float:
+        """Violation period of the recorded queries against a *different* deadline.
+
+        Only meaningful for accumulators whose state is deadline-independent
+        (the running mean, the sorted latency list): the adaptive-A*
+        retraining search uses it to read the *old* goal's violation off the
+        node's primary accumulator in O(1), without carrying a second copy of
+        the state.  Goals opt in via
+        :meth:`~repro.sla.base.PerformanceGoal.derived_aux_deadline`; the
+        default refuses, because most accumulators fold the deadline into
+        their running state.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot re-evaluate against another deadline"
+        )
+
     @abstractmethod
     def copy(self) -> "ViolationAccumulator":
         """An independent copy of the accumulator's state."""
@@ -162,6 +178,14 @@ class AverageLatencyViolationAccumulator(ViolationAccumulator):
         count = self._count + 1
         return max(0.0, total / count - self._deadline)
 
+    def violation_for_deadline(self, deadline: float) -> float:
+        # The running (total, count) state is deadline-independent, so any
+        # deadline's violation is one division away — bit-identical to the
+        # batch definition, whose left-to-right sum matches the add order.
+        if self._count == 0:
+            return 0.0
+        return max(0.0, self._total / self._count - deadline)
+
     def violations_with_row(
         self, template_names: Sequence[str], latencies: Sequence[float]
     ) -> list[float]:
@@ -214,6 +238,14 @@ class PercentileViolationAccumulator(ViolationAccumulator):
         if not self._latencies:
             return 0.0
         return max(0.0, self._percentile(self._latencies) - self._deadline)
+
+    def violation_for_deadline(self, deadline: float) -> float:
+        # The sorted list is deadline-independent; the same rank statistic
+        # answers any deadline (used by adaptive A* for the old goal, valid
+        # only when the two goals share `percent` — the goal hook checks).
+        if not self._latencies:
+            return 0.0
+        return max(0.0, self._percentile(self._latencies) - deadline)
 
     def violation_with(self, template_name: str, latency: float) -> float:
         # Hypothetical insertion: find the percentile of the list as if the new

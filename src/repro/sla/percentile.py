@@ -75,6 +75,19 @@ class PercentileGoal(PerformanceGoal):
         """Incremental violation tracker over the sorted observed latencies."""
         return PercentileViolationAccumulator(self._percent, self._deadline)
 
+    def derived_aux_deadline(self, aux_goal) -> float | None:
+        """Old goals sharing ``percent`` read the same rank statistic.
+
+        The sorted-latency state (and the nearest-rank selection) depends only
+        on ``percent``, so an old goal that differs by deadline alone needs no
+        second sorted list — which matters: cloning the percentile state per
+        placement edge is exactly as expensive as the recomputation the
+        auxiliary accumulator is meant to avoid.
+        """
+        if aux_goal.kind == self.kind and aux_goal.percent == self._percent:
+            return aux_goal.deadline
+        return None
+
     def ordering_horizon(
         self, queue_template_names: Sequence[str], candidate_template_name: str
     ) -> float:
