@@ -12,20 +12,36 @@ Three searches solve the same sample workloads optimally:
 Reported numbers are node expansions (the quantity that dominates training
 time), so this ablation explains where the training-time behaviour of
 Figures 14-16 comes from.
+
+A second ablation sweeps the pluggable search engine: every registered
+future-cost bound (``memoized``, ``tight``) and the optimality-relaxing
+strategies (weighted A*, beam) solve the same non-monotonic workloads, and
+the ``bound_ablation`` series — generated nodes, wall time, and
+cost-vs-optimal ratio per configuration — is merged into
+``BENCH_training_throughput.json`` next to the throughput history.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.adaptive.retraining import AdaptiveModeler
 from repro.evaluation.harness import format_table, uniform_workloads
 from repro.learning.trainer import ModelGenerator
 from repro.search.astar import astar_search
+from repro.search.bounds import registered_future_cost_bounds
 from repro.search.problem import SchedulingProblem
+from repro.search.strategy import strategy_from_spec
 
+from conftest import merge_bench_json, print_figure
 
 from repro.exceptions import SearchBudgetExceeded
 
 _NULL_BUDGET = 300_000
+
+#: Relaxed strategies swept by the engine ablation (the exact default rides
+#: along as the reference row).
+_STRATEGY_SPECS = ("astar", "weighted_astar:1.5", "beam:32")
 
 
 def _expansions(workloads, environment, goal, budget=200_000):
@@ -90,6 +106,110 @@ def _run(environments, scale):
         cold += astar_search(problem, max_expansions=400_000).expansions
     rows.append({"search": "cold A* (30% tighter goal)", "total expansions": cold})
     return rows
+
+
+def _run_engine_sweep(environments):
+    """Sweep registered bounds and strategies over the non-monotonic goals."""
+    rows = []
+    series: dict[str, dict] = {}
+    for kind in ("percentile", "average"):
+        environment = environments[kind]
+        workloads = uniform_workloads(environment.templates, 4, 10, seed=311)
+
+        def solve_all(spec: str, bound: str):
+            generated = expansions = 0
+            achieved = lower = 0.0
+            strategy = strategy_from_spec(spec)
+            started = time.perf_counter()
+            for workload in workloads:
+                problem = SchedulingProblem.for_workload(
+                    workload,
+                    environment.vm_types,
+                    environment.goal,
+                    environment.latency_model,
+                    future_bound=bound,
+                )
+                result = strategy.search(problem, max_expansions=400_000)
+                generated += result.generated
+                expansions += result.expansions
+                achieved += result.cost
+                lower += (
+                    result.cost
+                    if result.cost_lower_bound is None
+                    else result.cost_lower_bound
+                )
+            elapsed = time.perf_counter() - started
+            return generated, expansions, achieved, lower, elapsed
+
+        optimal_cost = None
+        for bound in registered_future_cost_bounds():
+            generated, expansions, achieved, _, elapsed = solve_all("astar", bound)
+            if optimal_cost is None:
+                optimal_cost = achieved
+            entry = {
+                "goal": kind,
+                "engine": f"astar+{bound}",
+                "generated": generated,
+                "expansions": expansions,
+                "wall_s": round(elapsed, 4),
+                "cost_ratio": round(achieved / optimal_cost, 6),
+            }
+            rows.append(entry)
+            series[f"{kind}:astar+{bound}"] = entry
+        for spec in _STRATEGY_SPECS[1:]:
+            generated, expansions, achieved, lower, elapsed = solve_all(
+                spec, "memoized"
+            )
+            entry = {
+                "goal": kind,
+                "engine": spec,
+                "generated": generated,
+                "expansions": expansions,
+                "wall_s": round(elapsed, 4),
+                # True achieved-over-optimal (the exact run above supplies the
+                # optimum); the sound self-reported bound rides along.
+                "cost_ratio": round(achieved / optimal_cost, 6),
+                "reported_ratio_bound": round(achieved / lower, 6),
+            }
+            rows.append(entry)
+            series[f"{kind}:{spec}"] = entry
+    return rows, series
+
+
+def test_bound_and_strategy_ablation(benchmark, environments):
+    """Sweep the pluggable engine and persist the ``bound_ablation`` series."""
+    rows, series = benchmark.pedantic(
+        _run_engine_sweep, args=(environments,), rounds=1, iterations=1
+    )
+    print_figure(
+        "Ablation — pluggable search engine (4 workloads x 10 queries per goal)",
+        format_table(
+            rows,
+            [
+                "goal",
+                "engine",
+                "generated",
+                "expansions",
+                "wall_s",
+                "cost_ratio",
+            ],
+        ),
+    )
+    path = merge_bench_json("training_throughput", {"bound_ablation": series})
+    print(f"bound_ablation series merged into {path}")
+    by_engine = {(row["goal"], row["engine"]): row for row in rows}
+    for kind in ("percentile", "average"):
+        exact = by_engine[(kind, "astar+memoized")]
+        tight = by_engine[(kind, "astar+tight")]
+        # Both A* runs are exact; the tighter bound must prune, not re-cost.
+        assert tight["cost_ratio"] == 1.0
+        assert tight["generated"] <= exact["generated"]
+        for spec in _STRATEGY_SPECS[1:]:
+            relaxed = by_engine[(kind, spec)]
+            # Relaxed strategies must report a sound ratio bound: at least as
+            # large as the true achieved-over-optimal ratio, never below 1.
+            assert relaxed["reported_ratio_bound"] >= relaxed["cost_ratio"] - 1e-9
+            assert relaxed["cost_ratio"] >= 1.0 - 1e-9
 
 
 def test_ablation_astar_guidance(benchmark, environments, scale):

@@ -23,7 +23,7 @@ import warnings
 from pathlib import Path
 
 from repro import TrainingConfig, WiSeDBService, tpch_templates, units
-from repro.sla import MaxLatencyGoal, PerQueryDeadlineGoal
+from repro.sla import MaxLatencyGoal, PercentileGoal, PerQueryDeadlineGoal
 from repro.workloads import WorkloadGenerator
 
 
@@ -50,6 +50,29 @@ def main() -> None:
             f"trained [{tenant.provenance}] in {result.training_time:.1f}s "
             f"({result.num_examples} decisions)"
         )
+
+    # 2b. Per-tenant search-engine selection: tenants whose workloads make
+    #     exact training search too slow can opt into a relaxed strategy
+    #     (weighted A* / beam) and/or the tighter "tight" future-cost bound.
+    #     Relaxed training is never silent — the model records its worst
+    #     cost-vs-optimal ratio — and the engine choice is part of the
+    #     registry fingerprint, so differently-engined tenants never share
+    #     artifacts.
+    initech_goal = PercentileGoal.from_factor(templates)
+    service.register(
+        "initech",
+        templates,
+        initech_goal,
+        config=TrainingConfig.tiny(seed=2),
+        search_strategy="beam:16",
+        future_bound="tight",
+    )
+    initech = service.train("initech")
+    print(
+        f"  initech {initech_goal.describe():<32} "
+        f"trained [beam:16 + tight bound], worst cost-vs-optimal ratio "
+        f"{initech.worst_optimality_ratio:.3f}"
+    )
 
     # 3. Schedule a 60-query batch for each tenant.  Every scheduler family
     #    returns the same SchedulingOutcome shape.

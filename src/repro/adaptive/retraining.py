@@ -44,6 +44,7 @@ from repro.learning.trainer import (
     SampleSolution,
     SampleSolver,
     TrainingResult,
+    stamp_optimality_ratio,
 )
 from repro.parallel.backend import ExecutionBackend
 from repro.search.problem import SearchNode
@@ -152,19 +153,29 @@ class AdaptiveModeler:
         total_expansions = 0
 
         solved = {self._freeze(s.template_counts): s for s in self._base.samples}
+        config = self._generator.config
         solver = SampleSolver(
             vm_types=self._generator.vm_types,
             goal=new_goal,
             latency_model=self._generator.latency_model,
             extractor=extractor,
-            max_expansions=self._generator.config.max_expansions,
+            max_expansions=config.max_expansions,
+            # The tenant's strategy and future-cost bound apply to re-searches
+            # too: the aux-goal machinery (the second accumulator feeding
+            # AdaptiveBound) is orthogonal to both, so they compose freely.
+            search_strategy=config.search_strategy,
+            future_bound=config.future_bound,
         )
         tasks = []
         for index, workload in enumerate(self._base.workloads):
             extra_bound = None
             if use_adaptive_bound:
                 old_solution = solved.get(self._freeze(dict(workload.template_counts())))
-                if old_solution is not None:
+                # Lemma 5.1 needs the *true* old optimum: a base sample solved
+                # by a relaxed strategy (cost_lower_bound recorded) may sit
+                # above it, which would make h' inadmissible — skip the bound
+                # for that sample rather than risk pruning the new optimum.
+                if old_solution is not None and old_solution.cost_lower_bound is None:
                     extra_bound = self._adaptive_bound(
                         old_goal, old_solution.optimal_cost
                     )
@@ -191,6 +202,10 @@ class AdaptiveModeler:
         retraining_time = time.perf_counter() - start_time
         model.metadata.num_training_samples = len(samples)
         model.metadata.training_time_seconds = retraining_time
+        # An adapted model of a relaxed-strategy tenant is itself built from
+        # relaxed re-solves: stamp its worst ratio so the degradation stays
+        # visible on the persisted artifact, exactly as fresh training does.
+        stamp_optimality_ratio(model.metadata, samples)
 
         result = TrainingResult(
             model=model,

@@ -106,6 +106,17 @@ class TrainingConfig:
         every available CPU (there is no joblib-style ``-2`` = "all but one"
         convention).  Results are merged in sample order, so training output
         is bit-identical for every ``n_jobs`` value.
+    search_strategy:
+        Search-strategy spec the per-sample solves run under (see
+        :mod:`repro.search.strategy`): ``"astar"`` (exact, the default),
+        ``"weighted_astar[:W]"``, or ``"beam[:K]"``.  Relaxed strategies trade
+        schedule optimality for training speed and report their worst
+        cost-vs-optimal ratio in the model metadata.
+    future_bound:
+        Registered admissible future-cost bound used by the non-monotonic
+        goals' f-values (see :mod:`repro.search.bounds`): ``"memoized"`` (the
+        bit-identical default) or ``"tight"`` (busy-time-aware, generates
+        fewer vertices for percentile/average goals).
     """
 
     num_samples: int = 3000
@@ -115,6 +126,8 @@ class TrainingConfig:
     min_samples_leaf: int = 5
     max_depth: int = 30
     n_jobs: int = 1
+    search_strategy: str = "astar"
+    future_bound: str = "memoized"
 
     @classmethod
     def paper(cls, seed: int = 0) -> "TrainingConfig":
@@ -157,14 +170,25 @@ class TrainingConfig:
         """Return a copy with a different worker-process count."""
         return replace(self, n_jobs=n_jobs)
 
+    def with_search_strategy(self, search_strategy: str) -> "TrainingConfig":
+        """Return a copy with a different search-strategy spec."""
+        return replace(self, search_strategy=search_strategy)
+
+    def with_future_bound(self, future_bound: str) -> "TrainingConfig":
+        """Return a copy with a different registered future-cost bound."""
+        return replace(self, future_bound=future_bound)
+
     def to_dict(self) -> dict:
         """JSON-serializable representation of every training knob.
 
         ``n_jobs`` is deliberately excluded: it is a wall-clock knob with
         bit-identical output for any value, so it must not perturb the model
-        registry's content fingerprints.
+        registry's content fingerprints.  ``search_strategy`` and
+        ``future_bound`` *are* output-affecting, but the defaults are omitted
+        so fingerprints of pre-existing (default-engine) configurations stay
+        byte-identical across releases.
         """
-        return {
+        data = {
             "num_samples": self.num_samples,
             "queries_per_sample": self.queries_per_sample,
             "seed": self.seed,
@@ -172,6 +196,11 @@ class TrainingConfig:
             "min_samples_leaf": self.min_samples_leaf,
             "max_depth": self.max_depth,
         }
+        if self.search_strategy != "astar":
+            data["search_strategy"] = self.search_strategy
+        if self.future_bound != "memoized":
+            data["future_bound"] = self.future_bound
+        return data
 
     @classmethod
     def from_dict(cls, data: dict, n_jobs: int = 1) -> "TrainingConfig":
@@ -184,7 +213,15 @@ class TrainingConfig:
             min_samples_leaf=data["min_samples_leaf"],
             max_depth=data["max_depth"],
             n_jobs=n_jobs,
+            search_strategy=data.get("search_strategy", "astar"),
+            future_bound=data.get("future_bound", "memoized"),
         )
+
+    def create_search_strategy(self):
+        """The resolved :class:`~repro.search.strategy.SearchStrategy` instance."""
+        from repro.search.strategy import strategy_from_spec
+
+        return strategy_from_spec(self.search_strategy)
 
     def effective_n_jobs(self) -> int:
         """The resolved worker count (every value below 1 means "all CPUs")."""

@@ -86,6 +86,8 @@ def build_environment(
     seed: int = 0,
     n_jobs: int | None = None,
     backend=None,
+    search_strategy: str | None = None,
+    future_bound: str | None = None,
 ) -> ExperimentEnvironment:
     """Train a model for one of the paper's default goals and wrap it up.
 
@@ -94,7 +96,9 @@ def build_environment(
     optionally injects a shared
     :class:`~repro.parallel.backend.ExecutionBackend` so several environment
     builds reuse one warm pool; without it any generator-owned pool is
-    released before returning.
+    released before returning.  ``search_strategy`` / ``future_bound``
+    override the configuration's search engine (the bench ablations sweep
+    them; defaults keep the exact, bit-identical engine).
     """
     from repro.workloads.templates import tpch_templates
 
@@ -104,6 +108,10 @@ def build_environment(
     config = config or TrainingConfig.fast(seed=seed)
     if n_jobs is not None:
         config = config.with_n_jobs(n_jobs)
+    if search_strategy is not None:
+        config = config.with_search_strategy(search_strategy)
+    if future_bound is not None:
+        config = config.with_future_bound(future_bound)
     goal = default_goal(goal_kind, templates)
     with ModelGenerator(
         templates=templates,

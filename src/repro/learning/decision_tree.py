@@ -245,8 +245,19 @@ class DecisionTreeClassifier:
         matrix: np.ndarray,
         labels: Sequence[str],
         feature_names: Sequence[str],
+        presort: bool = True,
     ) -> "DecisionTreeClassifier":
-        """Fit the tree on a (n_examples, n_features) matrix and string labels."""
+        """Fit the tree on a (n_examples, n_features) matrix and string labels.
+
+        ``presort=True`` (the default) sorts every feature column once up
+        front and maintains the per-feature sorted row orders through the
+        splits (classic C4.5 presorting): each node partitions the parent's
+        orders with one boolean mask per feature instead of re-running a
+        stable ``argsort`` per (node, feature).  Both paths evaluate the
+        identical candidate thresholds in the identical sequence, so the
+        fitted trees are bit-identical (property-tested); ``presort=False``
+        keeps the legacy per-node sorting as the reference path.
+        """
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2:
             raise TrainingError("feature matrix must be two-dimensional")
@@ -261,7 +272,18 @@ class DecisionTreeClassifier:
         self._classes = tuple(sorted(set(labels)))
         class_index = {label: i for i, label in enumerate(self._classes)}
         encoded = np.asarray([class_index[label] for label in labels], dtype=int)
-        self._root = self._build(matrix, encoded, depth=0)
+        if presort:
+            # One stable sort per feature over the full training set; the
+            # recursion below only ever *filters* these orders, which keeps
+            # every node's per-feature order equal to what a fresh stable
+            # argsort of its row subset would produce (ties resolve by
+            # original row position either way).
+            sorted_all = np.argsort(matrix, axis=0, kind="stable")
+            orders = [np.ascontiguousarray(sorted_all[:, j]) for j in range(matrix.shape[1])]
+            scratch = np.zeros(matrix.shape[0], dtype=bool)
+            self._root = self._build_presorted(matrix, encoded, orders, scratch, depth=0)
+        else:
+            self._root = self._build(matrix, encoded, depth=0)
         self._compiled_cache.clear()
         return self
 
@@ -294,6 +316,87 @@ class DecisionTreeClassifier:
         node.right = self._build(matrix[~mask], encoded[~mask], depth + 1)
         return node
 
+    def _build_presorted(
+        self,
+        matrix: np.ndarray,
+        encoded: np.ndarray,
+        orders: list[np.ndarray],
+        scratch: np.ndarray,
+        depth: int,
+    ) -> TreeNode:
+        """Recursive induction over presorted per-feature row orders.
+
+        ``orders[f]`` lists this node's row ids sorted by feature ``f``
+        (stable, ties by original row position) — exactly the order the
+        legacy path's per-node ``argsort`` would produce, so both paths feed
+        :meth:`_score_feature` identical sequences and grow identical trees.
+        ``matrix``/``encoded`` stay global (never sliced); ``scratch`` is one
+        shared boolean row-mask reused (and reset) by every partition.
+        """
+        rows = orders[0]
+        counts = np.bincount(encoded[rows], minlength=len(self._classes))
+        node = TreeNode(
+            samples=int(rows.size),
+            class_counts={
+                self._classes[i]: int(count) for i, count in enumerate(counts) if count
+            },
+            label=self._classes[int(np.argmax(counts))],
+        )
+        if (
+            depth >= self._max_depth
+            or rows.size < self._min_samples_split
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+
+        parent_entropy = _entropy(counts.astype(float))
+        if parent_entropy <= 0.0:
+            return node
+        total = int(rows.size)
+        row_indices = np.arange(total)
+        best: tuple[float, float, int, float] | None = None
+        for feature_index, order in enumerate(orders):
+            candidate = self._score_feature(
+                matrix[order, feature_index],
+                encoded[order],
+                counts,
+                total,
+                parent_entropy,
+                row_indices,
+            )
+            if candidate is not None:
+                scored = (candidate[0], candidate[1], feature_index, candidate[2])
+                if best is None or scored[:2] > best[:2]:
+                    best = scored
+        if best is None:
+            return node
+        feature_index, threshold = best[2], best[3]
+
+        # Partition every feature's order by the chosen split with one boolean
+        # gather per feature — the presort's whole point: no re-sorting.  The
+        # split feature's order is already sorted by value, so its left side
+        # is a prefix.
+        split_order = orders[feature_index]
+        boundary = int(
+            np.searchsorted(matrix[split_order, feature_index], threshold, side="right")
+        )
+        left_rows = split_order[:boundary]
+        scratch[left_rows] = True
+        left_orders = []
+        right_orders = []
+        for order in orders:
+            goes_left = scratch[order]
+            left_orders.append(order[goes_left])
+            right_orders.append(order[~goes_left])
+        scratch[left_rows] = False
+
+        node.feature_index = feature_index
+        node.feature_name = self._feature_names[feature_index]
+        node.threshold = threshold
+        node.left = self._build_presorted(matrix, encoded, left_orders, scratch, depth + 1)
+        node.right = self._build_presorted(matrix, encoded, right_orders, scratch, depth + 1)
+        return node
+
     def _best_split(
         self, matrix: np.ndarray, encoded: np.ndarray, counts: np.ndarray
     ) -> tuple[int, float] | None:
@@ -301,92 +404,111 @@ class DecisionTreeClassifier:
         if parent_entropy <= 0.0:
             return None
         total = encoded.size
-        n_classes = len(self._classes)
-        min_leaf = self._min_samples_leaf
         row_indices = np.arange(total)
         best: tuple[float, float, int, float] | None = None  # (gain_ratio, gain, feat, thr)
 
         for feature_index in range(matrix.shape[1]):
             column = matrix[:, feature_index]
             order = np.argsort(column, kind="stable")
-            sorted_values = column[order]
-            sorted_labels = encoded[order]
-
-            # Candidate split positions: boundaries between distinct values.
-            boundaries = np.nonzero(np.diff(sorted_values) > 0)[0]
-            if boundaries.size == 0:
-                continue
-            if boundaries.size > _MAX_THRESHOLDS:
-                step = boundaries.size / _MAX_THRESHOLDS
-                picks = (np.arange(_MAX_THRESHOLDS) * step).astype(int)
-                boundaries = boundaries[picks]
-
-            left_sizes = boundaries + 1
-            right_sizes = total - left_sizes
-            admissible = (left_sizes >= min_leaf) & (right_sizes >= min_leaf)
-            if not admissible.any():
-                continue
-            boundaries = boundaries[admissible]
-            left_sizes = left_sizes[admissible]
-            right_sizes = right_sizes[admissible]
-
-            # Per-boundary class counts via a segmented bincount: bucket k holds
-            # the rows between boundaries k-1 and k, so a cumulative sum over
-            # the (num_boundaries, num_classes) bucket matrix yields every
-            # boundary's left-side counts without materialising an
-            # (examples, classes) one-hot prefix per feature.
-            num_boundaries = boundaries.size
-            segments = np.searchsorted(boundaries, row_indices, side="left")
-            buckets = np.bincount(
-                segments * n_classes + sorted_labels,
-                minlength=(num_boundaries + 1) * n_classes,
-            ).reshape(num_boundaries + 1, n_classes)
-            left_counts = np.cumsum(buckets[:num_boundaries], axis=0)
-            right_counts = counts - left_counts
-            gains = parent_entropy - (
-                left_sizes / total * _entropy_rows(left_counts, left_sizes.astype(float))
-                + right_sizes
-                / total
-                * _entropy_rows(right_counts, right_sizes.astype(float))
+            candidate = self._score_feature(
+                column[order], encoded[order], counts, total, parent_entropy, row_indices
             )
-            useful = gains > self._min_gain
-            if not useful.any():
-                continue
-            boundaries = boundaries[useful]
-            gains = gains[useful]
-            left_fraction = left_sizes[useful] / total
-            right_fraction = right_sizes[useful] / total
-            # Both sides are non-empty, so the split information is positive.
-            split_info = -(
-                left_fraction * np.log2(left_fraction)
-                + right_fraction * np.log2(right_fraction)
-            )
-            gain_ratios = gains / split_info
-
-            # First boundary with the lexicographically largest (ratio, gain),
-            # matching the sequential loop's strict-improvement order.
-            top = np.nonzero(gain_ratios == gain_ratios.max())[0]
-            pick = top[int(np.argmax(gains[top]))]
-            boundary = int(boundaries[pick])
-
-            left_value = float(sorted_values[boundary])
-            right_value = float(sorted_values[boundary + 1])
-            threshold = (left_value + right_value) / 2.0
-            if not (left_value <= threshold < right_value):
-                # The midpoint of adjacent distinct values can collapse onto the
-                # right value (denormal underflow: mean(-5e-324, 0.0) == -0.0,
-                # and 0.0 <= -0.0 is True) or escape the interval entirely
-                # (overflow to ±inf).  A ``<= threshold`` test must keep the
-                # left value on the left and the right value on the right, and
-                # the left value itself always satisfies that.
-                threshold = left_value
-            candidate = (float(gain_ratios[pick]), float(gains[pick]), feature_index, threshold)
-            if best is None or candidate[:2] > best[:2]:
-                best = candidate
+            if candidate is not None:
+                scored = (candidate[0], candidate[1], feature_index, candidate[2])
+                if best is None or scored[:2] > best[:2]:
+                    best = scored
 
         if best is None:
             return None
         return best[2], best[3]
+
+    def _score_feature(
+        self,
+        sorted_values: np.ndarray,
+        sorted_labels: np.ndarray,
+        counts: np.ndarray,
+        total: int,
+        parent_entropy: float,
+        row_indices: np.ndarray,
+    ) -> tuple[float, float, float] | None:
+        """Best ``(gain_ratio, gain, threshold)`` of one pre-sorted feature.
+
+        Shared by the legacy per-node-argsort path and the presorted path so
+        the two cannot drift: both hand over the identical (values, labels)
+        sequence and therefore score the identical candidate boundaries.
+        """
+        n_classes = len(self._classes)
+        min_leaf = self._min_samples_leaf
+
+        # Candidate split positions: boundaries between distinct values.
+        boundaries = np.nonzero(np.diff(sorted_values) > 0)[0]
+        if boundaries.size == 0:
+            return None
+        if boundaries.size > _MAX_THRESHOLDS:
+            step = boundaries.size / _MAX_THRESHOLDS
+            picks = (np.arange(_MAX_THRESHOLDS) * step).astype(int)
+            boundaries = boundaries[picks]
+
+        left_sizes = boundaries + 1
+        right_sizes = total - left_sizes
+        admissible = (left_sizes >= min_leaf) & (right_sizes >= min_leaf)
+        if not admissible.any():
+            return None
+        boundaries = boundaries[admissible]
+        left_sizes = left_sizes[admissible]
+        right_sizes = right_sizes[admissible]
+
+        # Per-boundary class counts via a segmented bincount: bucket k holds
+        # the rows between boundaries k-1 and k, so a cumulative sum over
+        # the (num_boundaries, num_classes) bucket matrix yields every
+        # boundary's left-side counts without materialising an
+        # (examples, classes) one-hot prefix per feature.
+        num_boundaries = boundaries.size
+        segments = np.searchsorted(boundaries, row_indices, side="left")
+        buckets = np.bincount(
+            segments * n_classes + sorted_labels,
+            minlength=(num_boundaries + 1) * n_classes,
+        ).reshape(num_boundaries + 1, n_classes)
+        left_counts = np.cumsum(buckets[:num_boundaries], axis=0)
+        right_counts = counts - left_counts
+        gains = parent_entropy - (
+            left_sizes / total * _entropy_rows(left_counts, left_sizes.astype(float))
+            + right_sizes
+            / total
+            * _entropy_rows(right_counts, right_sizes.astype(float))
+        )
+        useful = gains > self._min_gain
+        if not useful.any():
+            return None
+        boundaries = boundaries[useful]
+        gains = gains[useful]
+        left_fraction = left_sizes[useful] / total
+        right_fraction = right_sizes[useful] / total
+        # Both sides are non-empty, so the split information is positive.
+        split_info = -(
+            left_fraction * np.log2(left_fraction)
+            + right_fraction * np.log2(right_fraction)
+        )
+        gain_ratios = gains / split_info
+
+        # First boundary with the lexicographically largest (ratio, gain),
+        # matching the sequential loop's strict-improvement order.
+        top = np.nonzero(gain_ratios == gain_ratios.max())[0]
+        pick = top[int(np.argmax(gains[top]))]
+        boundary = int(boundaries[pick])
+
+        left_value = float(sorted_values[boundary])
+        right_value = float(sorted_values[boundary + 1])
+        threshold = (left_value + right_value) / 2.0
+        if not (left_value <= threshold < right_value):
+            # The midpoint of adjacent distinct values can collapse onto the
+            # right value (denormal underflow: mean(-5e-324, 0.0) == -0.0,
+            # and 0.0 <= -0.0 is True) or escape the interval entirely
+            # (overflow to ±inf).  A ``<= threshold`` test must keep the
+            # left value on the left and the right value on the right, and
+            # the left value itself always satisfies that.
+            threshold = left_value
+        return (float(gain_ratios[pick]), float(gains[pick]), threshold)
 
     # -- prediction ----------------------------------------------------------------
 

@@ -73,6 +73,10 @@ class ModelMetadata:
     training_time_seconds: float = 0.0
     tree_depth: int = 0
     tree_leaves: int = 0
+    #: Search-strategy / future-cost-bound specs the training solves ran
+    #: under (see :mod:`repro.search.strategy` / :mod:`repro.search.bounds`).
+    search_strategy: str = "astar"
+    future_bound: str = "memoized"
     extra: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -181,6 +185,22 @@ class DecisionModel:
     def metadata(self) -> ModelMetadata:
         """Training provenance information."""
         return self._metadata
+
+    @property
+    def search_strategy(self) -> str:
+        """Spec of the search strategy the model was trained under."""
+        return self._metadata.search_strategy
+
+    @property
+    def training_optimality_ratio(self) -> float:
+        """Worst cost-vs-optimal ratio of the training solves (1.0 = exact).
+
+        Models trained under a relaxed strategy (weighted A*, beam) carry the
+        ratio in their metadata so downstream schedulers — and anyone reading
+        a persisted artifact — can see how far the training schedules may sit
+        above the optimum instead of the degradation being silent.
+        """
+        return float(self._metadata.extra.get("worst_optimality_ratio", 1.0))
 
     @property
     def penalty_guard_enabled(self) -> bool:

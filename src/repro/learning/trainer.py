@@ -49,8 +49,9 @@ from repro.learning.features import FEATURE_FAMILIES, FeatureExtractor
 from repro.learning.model import DecisionModel, ModelMetadata
 from repro.learning.sampling import training_workloads
 from repro.parallel.backend import ExecutionBackend, backend_for
-from repro.search.astar import SearchResult, astar_search
+from repro.search.astar import SearchResult, astar_search, optimality_ratio
 from repro.search.problem import SchedulingProblem, SearchNode
+from repro.search.strategy import SearchStrategy, strategy_from_spec
 from repro.sla.base import PerformanceGoal
 from repro.workloads.templates import TemplateSet
 from repro.workloads.workload import Workload
@@ -58,19 +59,34 @@ from repro.workloads.workload import Workload
 
 @dataclass(frozen=True)
 class SampleSolution:
-    """The optimal solution of one training sample (kept for adaptive reuse)."""
+    """The solution of one training sample (kept for adaptive reuse).
+
+    ``optimal_cost`` is the achieved schedule cost; under the exact default
+    strategy it is provably minimal.  Relaxed strategies additionally record
+    ``cost_lower_bound`` — a sound lower bound on the true optimum — so the
+    per-sample suboptimality is never silent (``None`` means exact).
+    """
 
     template_counts: dict[str, int]
     optimal_cost: float
     expansions: int
+    cost_lower_bound: float | None = None
+
+    @property
+    def optimality_ratio(self) -> float:
+        """``cost / optimal-lower-bound`` (1.0 when the solve was exact)."""
+        return optimality_ratio(self.optimal_cost, self.cost_lower_bound)
 
     def to_dict(self) -> dict:
         """JSON-serializable representation."""
-        return {
+        data = {
             "template_counts": dict(self.template_counts),
             "optimal_cost": self.optimal_cost,
             "expansions": self.expansions,
         }
+        if self.cost_lower_bound is not None:
+            data["cost_lower_bound"] = self.cost_lower_bound
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SampleSolution":
@@ -79,7 +95,26 @@ class SampleSolution:
             template_counts=dict(data["template_counts"]),
             optimal_cost=data["optimal_cost"],
             expansions=data["expansions"],
+            cost_lower_bound=data.get("cost_lower_bound"),
         )
+
+
+def worst_sample_optimality_ratio(samples: "Sequence[SampleSolution]") -> float:
+    """Worst per-sample cost-vs-optimal ratio (1.0 when every solve was exact).
+
+    The single definition behind :attr:`TrainingResult.worst_optimality_ratio`
+    and the metadata stamp on fresh *and* adaptively retrained models, so the
+    "relaxed strategies never degrade silently" contract has one source of
+    truth.
+    """
+    return max((sample.optimality_ratio for sample in samples), default=1.0)
+
+
+def stamp_optimality_ratio(metadata, samples: "Sequence[SampleSolution]") -> None:
+    """Record a relaxed run's worst ratio in the model metadata (if any)."""
+    worst = worst_sample_optimality_ratio(samples)
+    if worst > 1.0:
+        metadata.extra["worst_optimality_ratio"] = worst
 
 
 @dataclass
@@ -101,6 +136,15 @@ class TrainingResult:
     def num_examples(self) -> int:
         """Number of labelled decisions in the training set."""
         return len(self.training_set)
+
+    @property
+    def worst_optimality_ratio(self) -> float:
+        """Worst per-sample cost-vs-optimal ratio (1.0 for exact strategies).
+
+        Relaxed search strategies (weighted A*, beam) surface their quality
+        loss here instead of silently training on degraded schedules.
+        """
+        return worst_sample_optimality_ratio(self.samples)
 
     # -- persistence -----------------------------------------------------------------
 
@@ -162,18 +206,26 @@ def collect_examples(
     extractor: FeatureExtractor,
     max_expansions: int | None = None,
     extra_lower_bound: Callable[[SearchNode], float] | None = None,
+    strategy: SearchStrategy | None = None,
 ) -> tuple[list[TrainingExample], SearchResult]:
-    """Solve *problem* optimally and label every decision on the optimal path.
+    """Solve *problem* and label every decision on the solution path.
 
-    Feature rows are assembled through the extractor's batch
+    ``strategy`` selects the search strategy (``None`` = the exact A*
+    default, bit-identical to every prior release).  Feature rows are
+    assembled through the extractor's batch
     :meth:`~repro.learning.features.FeatureExtractor.matrix` fast path (one
-    preallocated matrix for the whole optimal path instead of one dict per
+    preallocated matrix for the whole solution path instead of one dict per
     vertex); ``REPRO_SLOW_PATH=1`` falls back to the legacy per-vertex dicts.
     Both paths produce bit-identical training sets.
     """
-    result = astar_search(
-        problem, max_expansions=max_expansions, extra_lower_bound=extra_lower_bound
-    )
+    if strategy is None:
+        result = astar_search(
+            problem, max_expansions=max_expansions, extra_lower_bound=extra_lower_bound
+        )
+    else:
+        result = strategy.search(
+            problem, max_expansions=max_expansions, extra_lower_bound=extra_lower_bound
+        )
     decisions = list(result.decisions())
     if slow_path_enabled():
         examples = [
@@ -211,19 +263,34 @@ class SampleSolver:
         latency_model: LatencyModel,
         extractor: FeatureExtractor,
         max_expansions: int | None,
+        search_strategy: str = "astar",
+        future_bound: str = "memoized",
     ) -> None:
         self.vm_types = vm_types
         self.goal = goal
         self.latency_model = latency_model
         self.extractor = extractor
         self.max_expansions = max_expansions
+        #: Strategy / future-cost-bound specs (plain strings so the solver
+        #: pickles cheaply; resolved lazily per process).
+        self.search_strategy = search_strategy
+        self.future_bound = future_bound
+        self._strategy: SearchStrategy | None = None
+
+    def _resolved_strategy(self) -> SearchStrategy | None:
+        """The strategy instance, or ``None`` for the zero-overhead default."""
+        if self.search_strategy == "astar":
+            return None
+        if self._strategy is None:
+            self._strategy = strategy_from_spec(self.search_strategy)
+        return self._strategy
 
     def solve(
         self,
         workload: Workload,
         extra_bound: Callable[[SearchNode], float] | None = None,
     ) -> tuple[list[TrainingExample], SampleSolution] | None:
-        """Optimal examples and solution for one sample (None = budget exceeded)."""
+        """Examples and solution for one sample (None = budget exceeded)."""
         aux_goal = None
         if extra_bound is not None and not slow_path_enabled():
             # Adaptive-A* bounds advertise the old goal so its penalty can be
@@ -231,7 +298,12 @@ class SampleSolver:
             # the legacy full re-evaluation as an escape hatch).
             aux_goal = getattr(extra_bound, "aux_goal", None)
         problem = SchedulingProblem.for_workload(
-            workload, self.vm_types, self.goal, self.latency_model, aux_goal=aux_goal
+            workload,
+            self.vm_types,
+            self.goal,
+            self.latency_model,
+            aux_goal=aux_goal,
+            future_bound=self.future_bound,
         )
         try:
             examples, result = collect_examples(
@@ -239,6 +311,7 @@ class SampleSolver:
                 self.extractor,
                 max_expansions=self.max_expansions,
                 extra_lower_bound=extra_bound,
+                strategy=self._resolved_strategy(),
             )
         except SearchBudgetExceeded:
             return None
@@ -246,6 +319,7 @@ class SampleSolver:
             template_counts=dict(workload.template_counts()),
             optimal_cost=result.cost,
             expansions=result.expansions,
+            cost_lower_bound=result.cost_lower_bound,
         )
         return examples, solution
 
@@ -404,6 +478,8 @@ class ModelGenerator:
             latency_model=self._latency_model,
             extractor=self._extractor,
             max_expansions=self._config.max_expansions,
+            search_strategy=self._config.search_strategy,
+            future_bound=self._config.future_bound,
         )
         payloads = self.backend.map_tasks(
             solver,
@@ -437,7 +513,11 @@ class ModelGenerator:
             training_time_seconds=training_time,
             tree_depth=tree.depth(),
             tree_leaves=tree.leaf_count(),
+            search_strategy=self._config.search_strategy,
+            future_bound=self._config.future_bound,
         )
+        # Relaxed strategies report their quality loss with the model.
+        stamp_optimality_ratio(metadata, samples)
         model = DecisionModel(
             tree=tree,
             extractor=self._extractor,
@@ -470,6 +550,8 @@ class ModelGenerator:
             num_training_examples=len(training_set),
             tree_depth=tree.depth(),
             tree_leaves=tree.leaf_count(),
+            search_strategy=self._config.search_strategy,
+            future_bound=self._config.future_bound,
         )
         return DecisionModel(
             tree=tree,
@@ -488,4 +570,9 @@ class ModelGenerator:
             min_samples_leaf=self._config.min_samples_leaf,
         )
         feature_names = training_set.feature_names
-        return tree.fit(matrix, labels, feature_names)
+        # Presorted fitting is bit-identical to the per-node-argsort path
+        # (shared split scoring); REPRO_SLOW_PATH=1 keeps the legacy path as
+        # the reference, mirroring the inference escape hatch.
+        return tree.fit(
+            matrix, labels, feature_names, presort=not slow_path_enabled()
+        )

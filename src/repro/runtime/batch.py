@@ -156,6 +156,23 @@ class BatchScheduler:
         """The decision model driving this scheduler."""
         return self._model
 
+    @property
+    def search_strategy(self) -> str:
+        """Spec of the search strategy the model was trained under.
+
+        Scheduling itself never searches — it parses the tree — but the
+        strategy (and, for relaxed strategies,
+        :attr:`~repro.learning.model.DecisionModel.training_optimality_ratio`)
+        is the provenance an operator needs when comparing tenants whose
+        models were trained under different engines.
+        """
+        return self._model.search_strategy
+
+    @property
+    def training_optimality_ratio(self) -> float:
+        """Worst training cost-vs-optimal ratio of the model (1.0 = exact)."""
+        return self._model.training_optimality_ratio
+
     # -- public API --------------------------------------------------------------
 
     def schedule(self, workload: Workload) -> Schedule:

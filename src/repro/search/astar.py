@@ -19,6 +19,12 @@ The implementation supports:
   incrementally by :meth:`~repro.search.problem.SchedulingProblem.expand` when
   the problem was built with an ``aux_goal``) instead of re-evaluating the old
   goal over the node's full outcome tuple.
+
+This loop is the **exact default** of the pluggable strategy engine
+(:mod:`repro.search.strategy`): :class:`~repro.search.strategy.AStarStrategy`
+delegates here verbatim, and the optimality-relaxing strategies (weighted A*,
+beam) live next to it in that module, all returning the same
+:class:`SearchResult` shape.
 """
 
 from __future__ import annotations
@@ -33,18 +39,57 @@ from repro.search.problem import SchedulingProblem, SearchNode
 from repro.search.state import SearchState
 
 
+def optimality_ratio(cost: float, cost_lower_bound: float | None) -> float:
+    """``cost / lower-bound`` with the shared edge-case conventions.
+
+    ``None`` means the result is provably optimal (ratio 1.0); a zero (or
+    negative) lower bound means the bound proves nothing, so a zero-cost
+    result is exact and any positive cost is unboundedly far (``inf``).  The
+    single definition behind :attr:`SearchResult.optimality_ratio` and
+    :attr:`~repro.learning.trainer.SampleSolution.optimality_ratio` — the
+    two must never drift.
+    """
+    if cost_lower_bound is None:
+        return 1.0
+    if cost_lower_bound <= 0.0:
+        return 1.0 if cost <= 0.0 else float("inf")
+    return cost / cost_lower_bound
+
+
 @dataclass
 class SearchResult:
-    """Outcome of an A* run over a scheduling graph."""
+    """Outcome of one search-strategy run over a scheduling graph."""
 
     goal_node: SearchNode
     expansions: int
     generated: int
+    #: Spec of the strategy that produced the result (``"astar"`` for the
+    #: exact default, ``"weighted_astar:1.5"``, ``"beam:32"``, ...).
+    strategy: str = "astar"
+    #: Sound lower bound on the *true* optimal cost, reported by relaxed
+    #: strategies so suboptimality is never silent.  ``None`` means the
+    #: result is provably optimal (``cost`` is its own bound).
+    cost_lower_bound: float | None = None
 
     @property
     def cost(self) -> float:
-        """Total cost (Equation 1) of the optimal schedule found."""
+        """Total cost (Equation 1) of the schedule found."""
         return self.goal_node.partial_cost
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the result is provably a minimum-cost schedule."""
+        return self.cost_lower_bound is None
+
+    @property
+    def optimality_ratio(self) -> float:
+        """``cost / optimal-lower-bound`` — 1.0 for exact results.
+
+        An upper bound on how far the returned schedule's cost can sit above
+        the true optimum; relaxed strategies surface it instead of silently
+        degrading (the training pipeline records the worst per-sample value).
+        """
+        return optimality_ratio(self.cost, self.cost_lower_bound)
 
     @property
     def goal_state(self) -> SearchState:

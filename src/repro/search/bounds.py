@@ -1,0 +1,456 @@
+"""Admissible future-cost bounds for the non-monotonic goals (pluggable).
+
+The A* f-value of a vertex under a non-monotonic goal (average latency,
+percentile) is ``infrastructure + Equation-3 + future-cost term``: the partial
+penalty cannot ride in the g-value (it may shrink as queries arrive), so an
+admissible estimate of the *future* penalty-plus-provisioning cost stands in
+for it.  This module turns that term into a pluggable component:
+
+* :class:`FutureCostBound` is the engine-facing protocol — per-problem state
+  in :meth:`~FutureCostBound.attach`, one hook per edge kind so bounds can
+  maintain incremental state on :attr:`~repro.search.problem.SearchNode.bound_state`,
+  and a from-scratch :meth:`~FutureCostBound.node_bound` for externally built
+  vertices.
+* :data:`FUTURE_COST_BOUNDS` is the registry; :func:`create_future_bound`
+  instantiates a fresh bound per :class:`~repro.search.problem.SchedulingProblem`
+  (bounds carry per-problem memo tables, so instances are never shared).
+
+Two bounds ship:
+
+``memoized`` (the default)
+    The goal's own :meth:`~repro.sla.base.PerformanceGoal.future_cost_lower_bound`
+    hook, memoised per ``(remaining multiset, assigned-latency key)`` exactly
+    as :class:`SchedulingProblem` has always done.  Selecting it by name is
+    bit-identical to not selecting anything: the problem keeps its inlined
+    fast path and this class simply reads the same memo.
+
+``tight``
+    A strictly tighter admissible bound for the percentile and average goals.
+    The memoized bound prices the remaining queries as if the most recent VM
+    were empty and free; this one additionally charges
+
+    * the most recent VM's **busy time** ``r`` — any remaining query placed on
+      it completes no earlier than ``r`` plus its execution time (and with no
+      new VM rented, *every* remaining query queues behind ``r``), and
+    * a **mandatory start-up fee** when no VM exists at all (the memoized
+      bound hands out one free machine even at the root vertex).
+
+    Both corrections only remove impossible completions from the relaxation,
+    so admissibility is preserved (property-tested against true optimal costs
+    for every goal kind); with ``r = 0`` and a VM present the bound collapses
+    to the memoized value exactly.  Per-vertex work is kept O(1)-ish by
+    incrementally maintained aggregates: the assigned-side running
+    ``(count, sum)`` rides on ``SearchNode.bound_state`` (average goal), the
+    sorted assigned latencies are the node's existing
+    :attr:`~repro.search.problem.SearchNode.latency_key`, and the
+    remaining-side sorted cheapest-time prefix sums are memoised per
+    remaining multiset instead of re-deriving rank selections per vertex.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.exceptions import SpecificationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.search.problem import SchedulingProblem, SearchNode
+
+_INF = float("inf")
+
+
+class FutureCostBound(ABC):
+    """Protocol for the non-monotonic future-cost term of the A* f-value.
+
+    One instance serves one :class:`SchedulingProblem`: :meth:`attach` is
+    called from the problem's constructor and may precompute tables.  The
+    per-edge hooks receive both the parent and the freshly built child so a
+    bound can maintain incremental aggregates on the child's
+    ``bound_state`` field; every value returned must be an admissible lower
+    bound on the penalty-plus-provisioning cost still to come (never more
+    than what *any* completion of the child's partial schedule will pay).
+    """
+
+    #: Registry key (set by subclasses).
+    name: str = "abstract"
+
+    def attach(self, problem: "SchedulingProblem") -> None:
+        """Bind the bound to *problem* (precompute per-problem tables)."""
+
+    def initial_state(self, problem: "SchedulingProblem", node: "SearchNode"):
+        """Incremental aggregate carried by the start vertex (``None`` = none)."""
+        return None
+
+    @abstractmethod
+    def placement_bound(
+        self,
+        problem: "SchedulingProblem",
+        parent: "SearchNode",
+        child: "SearchNode",
+        completion: float,
+    ) -> float:
+        """Future-cost term of a placement child (may update ``child.bound_state``)."""
+
+    @abstractmethod
+    def provision_bound(
+        self,
+        problem: "SchedulingProblem",
+        parent: "SearchNode",
+        child: "SearchNode",
+    ) -> float:
+        """Future-cost term of a provisioning child (busy time resets to 0)."""
+
+    @abstractmethod
+    def node_bound(self, problem: "SchedulingProblem", node: "SearchNode") -> float:
+        """Future-cost term computed from scratch (externally built vertices)."""
+
+
+class MemoizedGoalBound(FutureCostBound):
+    """The default bound: the goal's own hook, memoised per (remaining, key).
+
+    Delegates to the problem's memo table, so an explicitly selected
+    ``"memoized"`` bound returns bit-identical values to the problem's inlined
+    default path (the engine keeps that path when no bound object is
+    installed; this class exists so the registry is total and the ablation
+    benchmarks can sweep it by name).
+    """
+
+    name = "memoized"
+
+    def placement_bound(self, problem, parent, child, completion) -> float:
+        return problem._future_cost_bound(child.latency_key, child.state.remaining)
+
+    def provision_bound(self, problem, parent, child) -> float:
+        # (outcomes, remaining) are unchanged by a start-up edge.
+        future = parent.future_bound
+        if future < 0.0:
+            future = problem._future_cost_bound(
+                child.latency_key, child.state.remaining
+            )
+        return future
+
+    def node_bound(self, problem, node) -> float:
+        return problem._future_cost_bound(
+            problem._latency_key_of(node), node.state.remaining
+        )
+
+
+class TightFutureCostBound(FutureCostBound):
+    """Busy-time- and mandatory-provisioning-aware bound (see module docstring).
+
+    Supported goal kinds: ``average`` and ``percentile``.  Any other
+    non-monotonic goal transparently falls back to the memoized behaviour, so
+    selecting ``"tight"`` is always safe.
+    """
+
+    name = "tight"
+
+    def attach(self, problem) -> None:
+        self._problem = problem
+        goal = problem.goal
+        self._kind = goal.kind if goal.kind in ("average", "percentile") else None
+        #: Unsupported goal kinds delegate every hook to the memoized default.
+        self._fallback = MemoizedGoalBound() if self._kind is None else None
+        self._deadline = getattr(goal, "deadline", 0.0)
+        self._percent = getattr(goal, "percent", 0.0)
+        self._rate = goal.penalty_rate
+        self._min_startup = problem.min_startup_cost
+        #: remaining multiset -> (sorted cheapest times, prefix sums) where
+        #: ``prefix[k]`` is the sum of the ``k`` shortest remaining times.
+        self._aggregates: dict[tuple, tuple[tuple[float, ...], tuple[float, ...]]] = {}
+        #: (remaining multiset, machines) -> SPT completion-sum lower bound.
+        self._spt: dict[tuple, float] = {}
+        #: full memo over the bound's actual inputs.
+        self._memo: dict[tuple, float] = {}
+
+    # -- incremental hooks ------------------------------------------------------
+
+    def initial_state(self, problem, node):
+        if self._kind == "average":
+            return (0, 0.0)
+        return None
+
+    def placement_bound(self, problem, parent, child, completion) -> float:
+        if self._fallback is not None:
+            return self._fallback.placement_bound(problem, parent, child, completion)
+        remaining = child.state.remaining
+        has_vm = bool(child.state.vms)
+        busy = child.last_vm_finish if has_vm else 0.0
+        if self._kind == "average":
+            state = parent.bound_state
+            if state is None:
+                state = (len(parent.outcomes), _assigned_sum(parent))
+            count, total = state
+            child.bound_state = (count + 1, total + completion)
+            return self._average_bound(count + 1, total + completion, remaining, busy, has_vm)
+        return self._percentile_bound(child.latency_key, remaining, busy, has_vm)
+
+    def provision_bound(self, problem, parent, child) -> float:
+        if self._fallback is not None:
+            return self._fallback.provision_bound(problem, parent, child)
+        child.bound_state = parent.bound_state
+        remaining = child.state.remaining
+        # The freshly provisioned VM is empty: busy time 0, but a VM now exists.
+        if self._kind == "average":
+            state = parent.bound_state
+            if state is None:
+                state = (len(parent.outcomes), _assigned_sum(parent))
+            count, total = state
+            return self._average_bound(count, total, remaining, 0.0, True)
+        return self._percentile_bound(child.latency_key, remaining, 0.0, True)
+
+    def node_bound(self, problem, node) -> float:
+        if self._fallback is not None:
+            return self._fallback.node_bound(problem, node)
+        remaining = node.state.remaining
+        has_vm = bool(node.state.vms)
+        busy = node.last_vm_finish if has_vm else 0.0
+        if self._kind == "average":
+            state = node.bound_state
+            if state is None:
+                state = (len(node.outcomes), _assigned_sum(node))
+            count, total = state
+            return self._average_bound(count, total, remaining, busy, has_vm)
+        return self._percentile_bound(
+            problem._latency_key_of(node), remaining, busy, has_vm
+        )
+
+    # -- remaining-side aggregates ---------------------------------------------
+
+    def _remaining_aggregates(
+        self, problem, remaining: tuple[tuple[str, int], ...]
+    ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        cached = self._aggregates.get(remaining)
+        if cached is None:
+            # One source of truth for "cheapest achievable latency per
+            # remaining query": the problem's own memoized per-multiset list.
+            times = sorted(problem._remaining_latency_bounds(remaining))
+            prefix = [0.0]
+            acc = 0.0
+            for value in times:
+                acc += value
+                prefix.append(acc)
+            cached = (tuple(times), tuple(prefix))
+            self._aggregates[remaining] = cached
+        return cached
+
+    def _spt_sum(self, remaining: tuple, times: tuple[float, ...], machines: int) -> float:
+        """``P || sum C_j`` lower bound: SPT completion sum on *machines* machines."""
+        key = (remaining, machines)
+        cached = self._spt.get(key)
+        if cached is None:
+            n = len(times)
+            cached = sum(
+                latency * ((n - index - 1) // machines + 1)
+                for index, latency in enumerate(times)
+            )
+            self._spt[key] = cached
+        return cached
+
+    # -- the average-latency bound ------------------------------------------------
+
+    def _average_bound(
+        self,
+        assigned_count: int,
+        assigned_total: float,
+        remaining: tuple[tuple[str, int], ...],
+        busy: float,
+        has_vm: bool,
+    ) -> float:
+        key = (remaining, assigned_count, assigned_total, busy, has_vm)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        times, _ = self._remaining_aggregates(self._problem, remaining)
+        n = len(times)
+        count = assigned_count + n
+        deadline = self._deadline
+        rate = self._rate
+        min_startup = self._min_startup
+        if count == 0:
+            self._memo[key] = 0.0
+            return 0.0
+        if n == 0:
+            value = rate * max(0.0, assigned_total / count - deadline)
+            self._memo[key] = value
+            return value
+        best = _INF
+        for extra in range(0, n + 1):
+            if extra * min_startup >= best:
+                break
+            if has_vm:
+                if extra == 0:
+                    # Every remaining query queues behind the busy VM.
+                    completion_sum = n * busy + self._spt_sum(remaining, times, 1)
+                else:
+                    # Either the busy VM takes none of the remaining work
+                    # (only the fresh machines run it) or it takes some and at
+                    # least one completion is delayed by the full busy time.
+                    completion_sum = min(
+                        self._spt_sum(remaining, times, extra),
+                        busy + self._spt_sum(remaining, times, extra + 1),
+                    )
+            else:
+                if extra == 0:
+                    continue  # no machine exists: provisioning is mandatory
+                completion_sum = self._spt_sum(remaining, times, extra)
+            violation = max(
+                0.0, (assigned_total + completion_sum) / count - deadline
+            )
+            cost = extra * min_startup + rate * violation
+            if cost < best:
+                best = cost
+            if violation == 0.0:
+                break
+        self._memo[key] = best
+        return best
+
+    # -- the percentile bound -------------------------------------------------------
+
+    def _percentile_bound(
+        self,
+        latency_key: tuple[float, ...],
+        remaining: tuple[tuple[str, int], ...],
+        busy: float,
+        has_vm: bool,
+    ) -> float:
+        key = (remaining, latency_key, busy, has_vm)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        times, prefix = self._remaining_aggregates(self._problem, remaining)
+        n = len(times)
+        assigned = latency_key  # sorted: percentile keys are order-invariant
+        total = len(assigned) + n
+        if total == 0:
+            self._memo[key] = 0.0
+            return 0.0
+        rank = max(1, math.ceil(self._percent / 100.0 * total))
+        deadline = self._deadline
+        rate = self._rate
+        min_startup = self._min_startup
+        if n == 0:
+            value = rate * max(0.0, assigned[rank - 1] - deadline)
+            self._memo[key] = value
+            return value
+        best = _INF
+        for extra in range(0, n + 1):
+            if extra * min_startup >= best:
+                break
+            if not has_vm and extra == 0:
+                continue  # no machine exists: provisioning is mandatory
+            value = self._rank_statistic(
+                assigned, prefix, n, rank, extra, busy, has_vm
+            )
+            violation = max(0.0, value - deadline)
+            cost = extra * min_startup + rate * violation
+            if cost < best:
+                best = cost
+            if violation == 0.0:
+                break
+        self._memo[key] = best
+        return best
+
+    def _rank_statistic(
+        self,
+        assigned: tuple[float, ...],
+        prefix: tuple[float, ...],
+        n: int,
+        rank: int,
+        fresh: int,
+        busy: float,
+        has_vm: bool,
+    ) -> float:
+        """The *rank*-th smallest of assigned latencies merged with per-rank
+        lower bounds on the remaining completions, for ``fresh`` new machines
+        (plus the busy one when present)."""
+        num_assigned = len(assigned)
+        bound_cache: list[float] = []
+
+        def remaining_rank_bound(i: int) -> float:
+            # Lower bound on the i-th smallest remaining completion time.
+            while len(bound_cache) < i:
+                j = len(bound_cache) + 1
+                if not has_vm:
+                    value = prefix[-(-j // fresh)]
+                else:
+                    # k of the j earliest-finishing remaining queries run on
+                    # the busy machine: the last of those completes no earlier
+                    # than busy + (sum of the k shortest remaining times), the
+                    # other j-k spread over the fresh machines.
+                    value = prefix[-(-j // fresh)] if fresh >= 1 else _INF
+                    for k in range(1, j + 1):
+                        on_busy = busy + prefix[k]
+                        if on_busy >= value:
+                            break
+                        rest = j - k
+                        if rest == 0:
+                            elsewhere = 0.0
+                        elif fresh >= 1:
+                            elsewhere = prefix[-(-rest // fresh)]
+                        else:
+                            continue  # nowhere to run the other queries
+                        candidate = on_busy if on_busy >= elsewhere else elsewhere
+                        if candidate < value:
+                            value = candidate
+                bound_cache.append(value)
+            return bound_cache[i - 1]
+
+        taken_assigned = 0
+        taken_remaining = 0
+        value = 0.0
+        for _ in range(rank):
+            a = assigned[taken_assigned] if taken_assigned < num_assigned else _INF
+            b = remaining_rank_bound(taken_remaining + 1) if taken_remaining < n else _INF
+            if a <= b:
+                value = a
+                taken_assigned += 1
+            else:
+                value = b
+                taken_remaining += 1
+        return value
+
+
+def _assigned_sum(node: "SearchNode") -> float:
+    """Sum of the node's assigned latencies, in placement order.
+
+    Matches the incremental running sum bit-for-bit: both add completions in
+    the order the placements happened.
+    """
+    total = 0.0
+    for outcome in node.outcomes:
+        total += outcome.latency
+    return total
+
+
+#: Registered future-cost bounds, by name.
+FUTURE_COST_BOUNDS: dict[str, type[FutureCostBound]] = {}
+
+
+def register_future_cost_bound(cls: type[FutureCostBound]) -> type[FutureCostBound]:
+    """Class decorator adding a bound to :data:`FUTURE_COST_BOUNDS`."""
+    FUTURE_COST_BOUNDS[cls.name] = cls
+    return cls
+
+
+register_future_cost_bound(MemoizedGoalBound)
+register_future_cost_bound(TightFutureCostBound)
+
+
+def registered_future_cost_bounds() -> tuple[str, ...]:
+    """Names of every registered bound (registration order)."""
+    return tuple(FUTURE_COST_BOUNDS)
+
+
+def create_future_bound(spec: str) -> FutureCostBound:
+    """A fresh bound instance for *spec* (bounds hold per-problem caches)."""
+    try:
+        cls = FUTURE_COST_BOUNDS[spec]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown future-cost bound {spec!r}; registered: "
+            f"{', '.join(FUTURE_COST_BOUNDS)}"
+        ) from None
+    return cls()

@@ -148,11 +148,55 @@ class SearchNode:
     #: by :class:`~repro.adaptive.retraining.AdaptiveBound` as an O(1) delta
     #: instead of re-evaluating the old goal over the full outcome tuple.
     aux_penalty: float = field(default=-1.0)
+    #: Incremental aggregate maintained by a registered
+    #: :class:`~repro.search.bounds.FutureCostBound` along placement edges
+    #: (e.g. the tight average bound's running ``(count, sum)``).  ``None``
+    #: for the default memoized bound and for externally built nodes.
+    bound_state: object = field(default=None)
 
     @property
     def partial_cost(self) -> float:
         """Cost of the node's partial schedule: infrastructure plus penalty."""
         return self.infra_cost + self.penalty
+
+    def __repr__(self) -> str:
+        """Compact, non-recursive rendering (the generated dataclass repr
+        would chase the whole ``parent`` chain — useless in a failed property
+        test).  Surfaces the incremental bookkeeping a debugging session needs:
+        the PR-4 auxiliary penalty and the latency-key / bound-state memo
+        inputs alongside the classic cost fields."""
+        key = self.latency_key
+        key_text = "None" if key is None else f"<{len(key)} latencies>"
+        aux = "absent" if self.aux_penalty < 0.0 else f"{self.aux_penalty:.6g}"
+        return (
+            f"SearchNode(depth={self.depth}, state=[{self.state.describe()}], "
+            f"action={self.action!r}, infra={self.infra_cost:.6g}, "
+            f"penalty={self.penalty:.6g}, priority={self.priority:.6g}, "
+            f"last_vm_finish={self.last_vm_finish:.6g}, "
+            f"future_bound={self.future_bound:.6g}, latency_key={key_text}, "
+            f"aux_penalty={aux}, bound_state={self.bound_state!r})"
+        )
+
+    def debug_dict(self) -> dict:
+        """Every field a failed search assertion needs, as plain data.
+
+        Unlike :meth:`__repr__` this keeps the full latency key, so property
+        tests can print actionable vertices (``pytest`` truncates nothing).
+        """
+        return {
+            "depth": self.depth,
+            "state": self.state.describe(),
+            "action": repr(self.action),
+            "infra_cost": self.infra_cost,
+            "penalty": self.penalty,
+            "priority": self.priority,
+            "last_vm_finish": self.last_vm_finish,
+            "future_bound": self.future_bound,
+            "latency_key": self.latency_key,
+            "aux_penalty": self.aux_penalty,
+            "bound_state": self.bound_state,
+            "outcomes": tuple(self.outcomes),
+        }
 
     def path(self) -> list["SearchNode"]:
         """Nodes from the start vertex to this node, inclusive."""
@@ -176,6 +220,7 @@ class SchedulingProblem:
         goal: PerformanceGoal,
         latency_model: LatencyModel,
         aux_goal: PerformanceGoal | None = None,
+        future_bound: str = "memoized",
     ) -> None:
         counts = {name: count for name, count in dict(template_counts).items() if count > 0}
         for name in counts:
@@ -211,6 +256,19 @@ class SchedulingProblem:
         self._future_bound_order_invariant = bool(
             getattr(goal, "future_bound_order_invariant", False)
         )
+        #: Registered future-cost bound in effect for the non-monotonic term.
+        #: ``"memoized"`` keeps the inlined default path (no bound object at
+        #: all — bit-identical to every release before the registry existed);
+        #: any other name instantiates a fresh bound from
+        #: :data:`repro.search.bounds.FUTURE_COST_BOUNDS` per problem.
+        self._future_bound_name = future_bound or "memoized"
+        if self._future_bound_name == "memoized" or self._is_monotonic:
+            self._bound_obj = None
+        else:
+            from repro.search.bounds import create_future_bound
+
+            self._bound_obj = create_future_bound(self._future_bound_name)
+            self._bound_obj.attach(self)
 
     # -- precomputed tables --------------------------------------------------------
 
@@ -271,6 +329,7 @@ class SchedulingProblem:
         goal: PerformanceGoal,
         latency_model: LatencyModel,
         aux_goal: PerformanceGoal | None = None,
+        future_bound: str = "memoized",
     ) -> "SchedulingProblem":
         """Build the problem for a concrete workload (counts its templates)."""
         return cls(
@@ -280,12 +339,23 @@ class SchedulingProblem:
             goal=goal,
             latency_model=latency_model,
             aux_goal=aux_goal,
+            future_bound=future_bound,
         )
 
     @property
     def aux_goal(self) -> PerformanceGoal | None:
         """The auxiliary goal nodes carry a second accumulator for (or ``None``)."""
         return self._aux_goal
+
+    @property
+    def future_bound_name(self) -> str:
+        """Name of the registered future-cost bound in effect."""
+        return self._future_bound_name
+
+    @property
+    def min_startup_cost(self) -> float:
+        """Cheapest start-up fee in the VM catalogue (used by the bounds)."""
+        return self._min_startup_cost
 
     # -- accessors ---------------------------------------------------------------
 
@@ -334,6 +404,8 @@ class SchedulingProblem:
             if self._aux_derived_deadline is None:
                 node.aux_accumulator = self._aux_goal.search_accumulator()
             node.aux_penalty = 0.0
+        if self._bound_obj is not None:
+            node.bound_state = self._bound_obj.initial_state(self, node)
         node.priority = self.priority(node)
         return node
 
@@ -383,6 +455,7 @@ class SchedulingProblem:
         # for the non-monotonic goals (see SearchNode.latency_key).
         parent_key = None if monotonic else self._latency_key_of(node)
         order_invariant = self._future_bound_order_invariant
+        bound_obj = self._bound_obj
 
         # Placement edges: only onto the most recently provisioned VM.
         if vms:
@@ -542,7 +615,12 @@ class SchedulingProblem:
                         else:
                             child_key = parent_key + (completion,)
                         child.latency_key = child_key
-                        future = self._future_cost_bound(child_key, child_remaining)
+                        if bound_obj is None:
+                            future = self._future_cost_bound(child_key, child_remaining)
+                        else:
+                            future = bound_obj.placement_bound(
+                                self, node, child, completion
+                            )
                         child.future_bound = future
                         bound += future
                     child.priority = bound
@@ -598,12 +676,16 @@ class SchedulingProblem:
                     bound += penalty + provisioning
                 else:
                     # (outcomes, remaining) are unchanged by a start-up edge, so
-                    # the parent's future-cost term and memo key carry over
-                    # bit-for-bit.
+                    # under the default bound the parent's future-cost term and
+                    # memo key carry over bit-for-bit.  Registered bounds that
+                    # read the busy time must recompute (it resets to 0 here).
                     child.latency_key = parent_key
-                    future = node.future_bound
-                    if future < 0.0:
-                        future = self._future_cost_bound(parent_key, remaining)
+                    if bound_obj is None:
+                        future = node.future_bound
+                        if future < 0.0:
+                            future = self._future_cost_bound(parent_key, remaining)
+                    else:
+                        future = bound_obj.provision_bound(self, node, child)
                     child.future_bound = future
                     bound += future
                 child.priority = bound
@@ -851,10 +933,12 @@ class SchedulingProblem:
         bound = node.infra_cost + self._remaining_bounds(state.remaining)[0]
         if self._is_monotonic:
             bound += node.penalty + self.provisioning_bound(node)
-        else:
+        elif self._bound_obj is None:
             bound += self._future_cost_bound(
                 self._latency_key_of(node), state.remaining
             )
+        else:
+            bound += self._bound_obj.node_bound(self, node)
         return bound
 
     def _latency_key_of(self, node: SearchNode) -> tuple[float, ...]:

@@ -59,6 +59,7 @@ from repro.learning.trainer import ModelGenerator, TrainingResult
 from repro.parallel.backend import ExecutionBackend, backend_for, resolve_n_jobs
 from repro.runtime.batch import BatchScheduler
 from repro.runtime.online import OnlineOptimizations, OnlineScheduler
+from repro.search.bounds import create_future_bound
 from repro.service.registry import ModelRegistry, fingerprint_payload
 from repro.sla.base import PerformanceGoal
 from repro.sla.factory import goal_from_dict
@@ -327,8 +328,20 @@ class WiSeDBService:
         latency_model: LatencyModel | None = None,
         config: TrainingConfig | None = None,
         replace_existing: bool = False,
+        search_strategy: str | None = None,
+        future_bound: str | None = None,
     ) -> Tenant:
-        """Register a tenant; its model is trained on the first :meth:`train`."""
+        """Register a tenant; its model is trained on the first :meth:`train`.
+
+        ``search_strategy`` / ``future_bound`` override the configuration's
+        search engine for this tenant (see :mod:`repro.search.strategy` and
+        :mod:`repro.search.bounds`) — e.g. ``search_strategy="beam:32"`` for
+        a tenant whose workloads are too large for exact training searches,
+        or ``future_bound="tight"`` to cut node counts under percentile or
+        average goals.  Both knobs are part of the spec fingerprint, so
+        tenants trained under different engines never share registry
+        artifacts.
+        """
         if name in self._tenants and not replace_existing:
             raise SpecificationError(
                 f"tenant {name!r} is already registered "
@@ -337,6 +350,14 @@ class WiSeDBService:
         config = config or TrainingConfig.fast()
         if self._n_jobs is not None:
             config = config.with_n_jobs(self._n_jobs)
+        if search_strategy is not None:
+            config = config.with_search_strategy(search_strategy)
+        if future_bound is not None:
+            config = config.with_future_bound(future_bound)
+        # Fail at registration, not deep inside a (possibly worker-process)
+        # training call: resolve both engine specs through their registries.
+        config.create_search_strategy()
+        create_future_bound(config.future_bound)
         spec = TenantSpec(
             name=name,
             templates=templates,

@@ -178,3 +178,35 @@ def test_property_perfectly_separable_single_feature(values):
         return
     tree = fit_tree([[v] for v in values], labels, ["x"], min_samples_leaf=1, min_samples_split=2)
     assert tree.accuracy(np.asarray([[v] for v in values]), labels) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Presorted fitting (classic C4.5 presort) vs the per-node-argsort reference
+# ---------------------------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_presorted_fit_is_bit_identical_to_reference(seed):
+    """Presorted per-feature orders grow the exact same tree as per-node sorts.
+
+    Ties, constant columns, and duplicated rows are the cases where a presort
+    could diverge (stable-order bookkeeping), so the generated matrices are
+    deliberately tie-heavy.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, 120))
+    f = int(rng.integers(1, 8))
+    matrix = rng.normal(size=(n, f))
+    if f >= 2:
+        matrix[:, 0] = np.round(matrix[:, 0])  # heavy ties
+        matrix[:, -1] = matrix[0, -1]  # constant column
+    labels = [f"L{int(v)}" for v in rng.integers(0, 4, size=n)]
+    names = [f"f{j}" for j in range(f)]
+    presorted = DecisionTreeClassifier(max_depth=10, min_samples_leaf=2).fit(
+        matrix, labels, names, presort=True
+    )
+    reference = DecisionTreeClassifier(max_depth=10, min_samples_leaf=2).fit(
+        matrix, labels, names, presort=False
+    )
+    assert presorted.to_dict() == reference.to_dict()
