@@ -8,6 +8,7 @@ from repro.cloud.latency import (
 )
 from repro.cloud.simulator import (
     ExecutionTrace,
+    InterruptedQuery,
     ScheduleSimulator,
     VMRental,
     outcomes_of,
@@ -17,6 +18,8 @@ from repro.cloud.vm import (
     VMType,
     VMTypeCatalog,
     single_vm_type_catalog,
+    spot_variant,
+    spot_vm_type_catalog,
     synthetic_vm_type_catalog,
     t2_medium,
     t2_small,
@@ -25,6 +28,7 @@ from repro.cloud.vm import (
 
 __all__ = [
     "ExecutionTrace",
+    "InterruptedQuery",
     "LatencyModel",
     "PerturbedLatencyModel",
     "QueryLatencyPredictor",
@@ -36,6 +40,8 @@ __all__ = [
     "outcomes_of",
     "simulate",
     "single_vm_type_catalog",
+    "spot_variant",
+    "spot_vm_type_catalog",
     "synthetic_vm_type_catalog",
     "t2_medium",
     "t2_small",

@@ -41,6 +41,14 @@ class VMType:
     unsupported_templates:
         Template names this VM type cannot process at all (drives the
         ``supports-X`` feature).
+    spot:
+        Whether this is a spot/preemptible type: discounted pricing in
+        exchange for the provider's right to revoke the VM mid-run.
+    revocation_rate:
+        Expected revocations per hour of uptime (0.0 = never revoked).  Only
+        consulted when a :class:`~repro.faults.FaultPlan` with rate
+        generators is in effect; the baseline cost model still prices the VM
+        as if it never fails.
     """
 
     name: str
@@ -49,6 +57,8 @@ class VMType:
     default_speed_factor: float = 1.0
     speed_factors: Mapping[str, float] = field(default_factory=dict)
     unsupported_templates: frozenset[str] = field(default_factory=frozenset)
+    spot: bool = False
+    revocation_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -58,6 +68,10 @@ class VMType:
         if self.default_speed_factor <= 0:
             raise SpecificationError(
                 f"VM type {self.name!r} must have a positive speed factor"
+            )
+        if self.revocation_rate < 0:
+            raise SpecificationError(
+                f"VM type {self.name!r} has a negative revocation rate"
             )
         # Normalise the collections so the dataclass stays hashable.
         object.__setattr__(self, "speed_factors", dict(self.speed_factors))
@@ -87,8 +101,12 @@ class VMType:
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-serializable representation (exact float round-trip)."""
-        return {
+        """JSON-serializable representation (exact float round-trip).
+
+        Spot fields are omitted at their defaults so the fingerprints of
+        pre-existing (on-demand) catalogues stay byte-identical.
+        """
+        data = {
             "name": self.name,
             "startup_cost": self.startup_cost,
             "running_cost": self.running_cost,
@@ -96,6 +114,11 @@ class VMType:
             "speed_factors": dict(sorted(self.speed_factors.items())),
             "unsupported_templates": sorted(self.unsupported_templates),
         }
+        if self.spot:
+            data["spot"] = True
+        if self.revocation_rate != 0.0:
+            data["revocation_rate"] = self.revocation_rate
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "VMType":
@@ -107,6 +130,8 @@ class VMType:
             default_speed_factor=data.get("default_speed_factor", 1.0),
             speed_factors=data.get("speed_factors", {}),
             unsupported_templates=frozenset(data.get("unsupported_templates", ())),
+            spot=data.get("spot", False),
+            revocation_rate=data.get("revocation_rate", 0.0),
         )
 
 
@@ -204,9 +229,52 @@ def t2_small(slow_templates: Iterable[str] = (), slowdown: float = 1.6) -> VMTyp
     )
 
 
+def spot_variant(
+    vm_type: VMType,
+    discount: float = 0.7,
+    revocation_rate: float = 0.25,
+    name: str | None = None,
+) -> VMType:
+    """A spot/preemptible twin of *vm_type* at a discounted running price.
+
+    ``discount`` is the fraction knocked off the on-demand running cost (0.7
+    mirrors typical spot savings); ``revocation_rate`` is the expected number
+    of revocations per hour of uptime the type advertises.  Start-up cost and
+    execution speeds are unchanged — the provider hands out the same hardware,
+    it just reserves the right to take it back.
+    """
+    if not 0.0 <= discount < 1.0:
+        raise SpecificationError("spot discount must be in [0, 1)")
+    return VMType(
+        name=name or f"{vm_type.name}.spot",
+        startup_cost=vm_type.startup_cost,
+        running_cost=vm_type.running_cost * (1.0 - discount),
+        default_speed_factor=vm_type.default_speed_factor,
+        speed_factors=vm_type.speed_factors,
+        unsupported_templates=vm_type.unsupported_templates,
+        spot=True,
+        revocation_rate=revocation_rate,
+    )
+
+
 def single_vm_type_catalog() -> VMTypeCatalog:
     """The default single-type catalogue used by most experiments."""
     return VMTypeCatalog([t2_medium()])
+
+
+def spot_vm_type_catalog(
+    discount: float = 0.7, revocation_rate: float = 0.25
+) -> VMTypeCatalog:
+    """An on-demand ``t2.medium`` next to its discounted spot twin.
+
+    The scenario-zoo catalogue for revocation experiments: the optimizer can
+    chase the spot discount, and a :class:`~repro.faults.FaultPlan` with rate
+    generators decides how often that gamble loses.
+    """
+    reference = t2_medium()
+    return VMTypeCatalog(
+        [reference, spot_variant(reference, discount, revocation_rate)]
+    )
 
 
 def two_vm_type_catalog(slow_templates: Iterable[str] = ()) -> VMTypeCatalog:

@@ -22,27 +22,64 @@ from repro.sla.base import PerformanceGoal
 
 @dataclass(frozen=True)
 class CostBreakdown:
-    """The three components of Equation 1, in cents."""
+    """The components of Equation 1 plus failure accounting, in cents.
+
+    ``startup_cost``/``execution_cost`` cover spend that delivered completed
+    queries; ``penalty_cost`` is the SLA penalty (which, under a fault plan,
+    already folds in rescheduling delay — completion times simply move).  The
+    two wasted components record spend lost to infrastructure failure: the
+    provisioning fees of VMs that died and the partial execution time billed
+    for queries a failure interrupted.  Fault-free runs keep both at 0.0, so
+    every pre-existing breakdown (and golden digest) is unchanged.
+    """
 
     startup_cost: float
     execution_cost: float
     penalty_cost: float
+    #: Provisioning fees of VMs that crashed or were revoked mid-run.
+    wasted_startup_cost: float = 0.0
+    #: Rental spend on partial executions a failure threw away.
+    wasted_execution_cost: float = 0.0
 
     @property
     def total(self) -> float:
-        """Total monetary cost ``cost(R, S)`` in cents."""
-        return self.startup_cost + self.execution_cost + self.penalty_cost
+        """Total monetary cost ``cost(R, S)`` in cents, wasted spend included."""
+        return (
+            self.startup_cost
+            + self.execution_cost
+            + self.penalty_cost
+            + self.wasted_startup_cost
+            + self.wasted_execution_cost
+        )
 
     @property
     def infrastructure_cost(self) -> float:
-        """Provisioning plus rental cost, excluding penalties."""
+        """Provisioning plus rental cost, excluding penalties and waste."""
         return self.startup_cost + self.execution_cost
+
+    @property
+    def wasted_cost(self) -> float:
+        """Total spend lost to VM failures (zero in fault-free runs)."""
+        return self.wasted_startup_cost + self.wasted_execution_cost
+
+    @property
+    def failure_free_cost(self) -> float:
+        """The cost components that delivered value: total minus wasted spend.
+
+        By construction ``total == failure_free_cost + wasted_cost`` — the
+        reconciliation identity the fault suite asserts.
+        """
+        return self.startup_cost + self.execution_cost + self.penalty_cost
 
     def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
         return CostBreakdown(
             startup_cost=self.startup_cost + other.startup_cost,
             execution_cost=self.execution_cost + other.execution_cost,
             penalty_cost=self.penalty_cost + other.penalty_cost,
+            wasted_startup_cost=self.wasted_startup_cost + other.wasted_startup_cost,
+            wasted_execution_cost=(
+                self.wasted_execution_cost + other.wasted_execution_cost
+            ),
         )
 
     @classmethod
@@ -60,16 +97,29 @@ def breakdown_from_trace(
     :func:`repro.core.scheduler.simulated_outcome`, so the two can never
     drift apart.
     """
-    startup = sum(vm.vm_type.startup_cost for vm in schedule)
+    startup = 0.0
     execution = 0.0
+    wasted_startup = 0.0
+    wasted_execution = 0.0
+    rentals = trace.rentals
     for vm_index, vm in enumerate(schedule):
         busy = sum(
             outcome.execution_time for outcome in trace.outcomes_for_vm(vm_index)
         )
         execution += vm.vm_type.running_cost * busy
+        rental = rentals[vm_index] if vm_index < len(rentals) else None
+        if rental is not None and rental.failed:
+            wasted_startup += vm.vm_type.startup_cost
+            wasted_execution += vm.vm_type.running_cost * rental.wasted_busy_time
+        else:
+            startup += vm.vm_type.startup_cost
     penalty = goal.penalty(trace.outcomes)
     return CostBreakdown(
-        startup_cost=startup, execution_cost=execution, penalty_cost=penalty
+        startup_cost=startup,
+        execution_cost=execution,
+        penalty_cost=penalty,
+        wasted_startup_cost=wasted_startup,
+        wasted_execution_cost=wasted_execution,
     )
 
 

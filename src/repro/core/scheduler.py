@@ -56,6 +56,12 @@ class SchedulerOverhead:
     retrains: int = 0
     #: Model-cache hits during the run (online scheduling only).
     cache_hits: int = 0
+    #: Failed VM provisioning attempts absorbed by backoff (fault runs only).
+    retries: int = 0
+    #: VMs lost to crashes or spot revocation during the run.
+    vm_failures: int = 0
+    #: Queries re-enqueued after the VM holding them failed.
+    requeues: int = 0
 
 
 @dataclass(frozen=True)
@@ -74,6 +80,11 @@ class SchedulingOutcome:
     query_outcomes: tuple[QueryOutcome, ...] = ()
     #: Operational overheads of producing the schedule.
     overhead: SchedulerOverhead = field(default_factory=SchedulerOverhead)
+    #: True when the service fell back to a heuristic (model missing/corrupt
+    #: or repeated placement failure) instead of the learned scheduler.
+    degraded: bool = False
+    #: Why degraded mode engaged (``None`` when ``degraded`` is False).
+    degraded_reason: str | None = None
 
     @property
     def total_cost(self) -> float:

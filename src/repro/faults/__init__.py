@@ -1,0 +1,36 @@
+"""Deterministic fault injection: VM crashes, spot revocation, slow starts.
+
+The cloud substrate (:mod:`repro.cloud`) and the online scheduler
+(:mod:`repro.runtime.online`) consume a :class:`FaultPlan` — explicit timed
+events plus seeded rate generators — to simulate and survive partial
+infrastructure failure.  An empty plan is a strict no-op (golden digests stay
+bit-identical); a fixed seed makes faulty runs fully reproducible.
+"""
+
+from repro.faults.plan import (
+    CRASH,
+    REVOCATION,
+    SLOW_START,
+    BackoffPolicy,
+    FaultEvent,
+    FaultPlan,
+    FaultRates,
+    SlowStart,
+    SpotRevocation,
+    VMFailure,
+    VMFaultProfile,
+)
+
+__all__ = [
+    "CRASH",
+    "REVOCATION",
+    "SLOW_START",
+    "BackoffPolicy",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRates",
+    "SlowStart",
+    "SpotRevocation",
+    "VMFailure",
+    "VMFaultProfile",
+]

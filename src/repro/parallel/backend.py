@@ -40,6 +40,7 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import traceback
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
@@ -108,12 +109,62 @@ _WORKER_CACHE: dict[int, Callable] = {}
 _TOKEN_COUNTER = itertools.count(1)
 
 
+class _RemoteTraceback(Exception):
+    """Carries a worker's formatted traceback as the ``__cause__`` of the
+    exception re-raised in the driver, so the original failure site shows up
+    in the driver's traceback (the pattern ``concurrent.futures`` uses)."""
+
+    def __init__(self, tb: str) -> None:
+        super().__init__(tb)
+        self.tb = tb
+
+    def __str__(self) -> str:
+        return f'\n"""\n{self.tb}"""'
+
+
+class _WorkerFailure:
+    """A task exception captured in the pool process, shipped as a payload.
+
+    Letting worker exceptions propagate through ``pool.map`` loses the tasks
+    that completed after the failing one and — worse — lets a worker's
+    ``TypeError``/``OSError`` masquerade as a pool or pickling failure in the
+    driver's fallback logic.  Capturing them as ordinary payloads keeps the
+    map total; the driver then re-raises the *first* failure in task-index
+    order, with the worker-side traceback chained via ``__cause__``.
+    """
+
+    __slots__ = ("blob", "traceback", "description")
+
+    def __init__(self, error: BaseException, tb: str) -> None:
+        try:
+            blob = pickle.dumps(error)
+        except Exception:
+            blob = None
+        self.blob = blob
+        self.traceback = tb
+        self.description = repr(error)
+
+    def reraise(self) -> None:
+        """Re-raise the captured exception, chained to its remote traceback."""
+        error: BaseException | None = None
+        if self.blob is not None:
+            try:
+                error = pickle.loads(self.blob)
+            except Exception:
+                error = None
+        if not isinstance(error, BaseException):
+            error = RuntimeError(f"worker task failed: {self.description}")
+        raise error from _RemoteTraceback(self.traceback)
+
+
 class _PooledWorker:
     """The picklable task function shipped to pool processes.
 
     Carries the serialized worker blob plus a token identifying it; pool
     processes unpickle the blob once per token and serve subsequent tasks of
-    the same ``map_tasks`` call from the cache.
+    the same ``map_tasks`` call from the cache.  Exceptions raised by the
+    worker (or while unpickling it) come back as :class:`_WorkerFailure`
+    payloads instead of aborting the whole map.
     """
 
     __slots__ = ("token", "blob")
@@ -123,12 +174,15 @@ class _PooledWorker:
         self.blob = blob
 
     def __call__(self, task: tuple) -> tuple[int, object]:
-        worker = _WORKER_CACHE.get(self.token)
-        if worker is None:
-            worker = pickle.loads(self.blob)
-            _WORKER_CACHE.clear()
-            _WORKER_CACHE[self.token] = worker
-        return task[0], worker(*task[1:])
+        try:
+            worker = _WORKER_CACHE.get(self.token)
+            if worker is None:
+                worker = pickle.loads(self.blob)
+                _WORKER_CACHE.clear()
+                _WORKER_CACHE[self.token] = worker
+            return task[0], worker(*task[1:])
+        except Exception as error:
+            return task[0], _WorkerFailure(error, traceback.format_exc())
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -214,11 +268,12 @@ class ProcessPoolBackend(ExecutionBackend):
             for index, payload in pool.map(pooled, tasks, chunksize=chunksize):
                 results[index] = payload
             self._pool_failures = 0
-            return results
         except (BrokenProcessPool, OSError) as error:
             # Workers killed (OOM, signals) or transport failed mid-run: the
             # pool itself is unhealthy — drop it, count the failure towards
-            # the pin-serial threshold, and redo this call serially.
+            # the pin-serial threshold, and redo this call serially.  Worker
+            # *exceptions* never land here: they come back as _WorkerFailure
+            # payloads, so these clauses only see genuine pool failures.
             self._discard_pool()
             self._pool_failures += 1
             self._fallback_reason = f"pool failed mid-run: {type(error).__name__}"
@@ -232,10 +287,17 @@ class ProcessPoolBackend(ExecutionBackend):
             # warm (it is healthy; this *call* is unparallelizable) and does
             # not count towards the pin-serial threshold — a shared backend
             # must not lose parallelism for every owner because one caller's
-            # tasks would not pickle.  A deterministic error raised by the
-            # worker re-raises from the serial rerun, so nothing is swallowed.
+            # tasks would not pickle.
             self._fallback_reason = f"call not parallelizable: {type(error).__name__}"
             return self._serial.map_tasks(worker, tasks)
+        # Re-raise the first worker exception in task-index order (not
+        # completion order), with the worker-side traceback chained via
+        # __cause__ — deterministic, and outside the try so it can never be
+        # misclassified as a pool or pickling failure above.
+        for payload in results:
+            if isinstance(payload, _WorkerFailure):
+                payload.reraise()
+        return results
 
     def _ensure_pool(self, workers: int):
         """The live pool, spawned lazily (``None`` when spawning fails).

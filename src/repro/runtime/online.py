@@ -38,11 +38,29 @@ inference fast path (preallocated feature rows + compiled tree evaluator).
 ``REPRO_SLOW_PATH=1`` forces the legacy one-pass-per-query dict/node-walk
 loop; for streams with distinct arrival times the two paths are bit-identical
 (asserted by the golden-scenario and equivalence suites).
+
+Fault tolerance
+---------------
+
+Constructed with a non-empty :class:`~repro.faults.FaultPlan`, the arrival
+loop becomes a discrete-event loop over arrivals *and* scheduled VM failures.
+When a VM dies (crash or spot revocation), every query it had not completed is
+re-enqueued as a fresh arrival at the failure instant and rescheduled;
+replacement VMs pay slow-start delays and capped exponential backoff for
+failed provisioning attempts, all drawn deterministically from the plan's
+seed.  The report gains failure accounting (``vm_failures``, ``requeues``,
+``retries``) and the cost breakdown separates wasted spend (dead VMs' fees,
+discarded partial executions) from the failure-free components.  With no plan
+(or an empty one) this module's behaviour is bit-identical to the fault-free
+scheduler.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.adaptive.retraining import AdaptiveModeler
@@ -53,6 +71,7 @@ from repro.core.outcome import QueryOutcome
 from repro.core.schedule import Schedule, VMAssignment
 from repro.core.scheduler import SchedulerOverhead, SchedulingOutcome
 from repro.exceptions import SpecificationError
+from repro.faults.plan import FaultPlan
 from repro.learning.model import DecisionModel
 from repro.learning.trainer import ModelGenerator, TrainingResult
 from repro.runtime.batch import BatchScheduler
@@ -119,6 +138,21 @@ class _VMRecord:
     vm_type: VMType
     provision_time: float
     records: list[ScheduledQueryRecord] = field(default_factory=list)
+    #: Scheduled failure instant from the fault plan (``None`` = never fails).
+    fail_time: float | None = None
+    #: How the VM is scheduled to die (``"crash"``/``"revocation"``).
+    fail_kind: str | None = None
+    #: Set once the failure has been processed by the event loop: the VM is
+    #: gone and can no longer receive placements.
+    dead: bool = False
+    #: True when the failure actually cost work (queries re-enqueued): the
+    #: provisioning fee is then accounted as wasted spend.  A VM revoked
+    #: after draining its queue retires quietly — dead but not failed.
+    failed: bool = False
+    #: Billed execution time the failure threw away (in-flight queries).
+    wasted_time: float = 0.0
+    #: Extra provisioning time (slow start plus start-failure backoff).
+    startup_delay: float = 0.0
 
     def busy_until(self) -> float:
         """Time at which the VM finishes everything currently committed to it."""
@@ -149,6 +183,12 @@ class OnlineSchedulingReport:
     base_model_uses: int
     num_vms: int
     optimizations: OnlineOptimizations
+    #: Failed provisioning attempts absorbed by backoff (fault runs only).
+    retries: int = 0
+    #: VMs lost to crashes or spot revocation during the run.
+    vm_failures: int = 0
+    #: Queries re-enqueued after the VM holding them failed.
+    requeues: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -181,6 +221,7 @@ class OnlineScheduler:
         generator: ModelGenerator,
         optimizations: OnlineOptimizations | None = None,
         wait_resolution: float = 30.0,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if wait_resolution <= 0:
             raise SpecificationError("wait_resolution must be positive")
@@ -188,6 +229,11 @@ class OnlineScheduler:
         self._generator = generator
         self._optimizations = optimizations or OnlineOptimizations.all()
         self._wait_resolution = wait_resolution
+        #: ``None`` (or an empty plan) keeps the fault-free arrival loop, which
+        #: is bit-identical to the pre-fault-injection scheduler.
+        self._fault_plan = (
+            fault_plan if fault_plan is not None and not fault_plan.is_empty else None
+        )
         self._modeler = AdaptiveModeler(generator, base_training)
         self._model_cache: dict[object, DecisionModel] = {}
         #: (template name, vm type name) -> true execution time, memoized for
@@ -235,6 +281,9 @@ class OnlineScheduler:
                 decisions=len(report.scheduling_overheads),
                 retrains=report.retrains,
                 cache_hits=report.cache_hits,
+                retries=report.retries,
+                vm_failures=report.vm_failures,
+                requeues=report.requeues,
             ),
         )
 
@@ -287,6 +336,8 @@ class OnlineScheduler:
         self, workload: Workload
     ) -> tuple[OnlineSchedulingReport, list["_VMRecord"]]:
         """The arrival loop shared by :meth:`run` and :meth:`run_report`."""
+        if self._fault_plan is not None:
+            return self._execute_with_faults(workload)
         base_goal = self._base.goal
         latency_model = self._generator.latency_model
 
@@ -361,6 +412,147 @@ class OnlineScheduler:
             base_model_uses=base_model_uses,
             num_vms=len(vms),
             optimizations=self._optimizations,
+        )
+        return report, vms
+
+    def _execute_with_faults(
+        self, workload: Workload
+    ) -> tuple[OnlineSchedulingReport, list["_VMRecord"]]:
+        """The fault-aware twin of :meth:`_execute` (plan known non-empty).
+
+        A discrete-event loop over two event sources: arrival epochs and
+        scheduled VM failures (a heap of ``(fail_time, vm_sequence)`` fed by
+        the fault plan as VMs are provisioned).  When a VM dies, the queries
+        it had not finished are re-enqueued as a fresh arrival at the failure
+        instant and rescheduled like any other epoch; partial in-flight
+        execution is billed as wasted time.  Replacement VMs draw their own
+        profiles under fresh sequence numbers, so explicit per-index events
+        are finite and rate draws stay horizon-bounded — the loop always
+        terminates with every query completed exactly once.
+        """
+        plan = self._fault_plan
+        assert plan is not None
+        base_goal = self._base.goal
+        latency_model = self._generator.latency_model
+
+        vms: list[_VMRecord] = []
+        originals: dict[int, Query] = {}
+        overheads: list[float] = []
+        retrains = 0
+        cache_hits = 0
+        base_model_uses = 0
+        retries = 0
+        vm_failures = 0
+        requeues = 0
+        touched: list[_VMRecord] = []
+        epochs = deque(self._arrival_epochs(workload))
+        #: Min-heap of (fail_time, vm sequence number) for provisioned VMs.
+        fault_heap: list[tuple[float, int]] = []
+
+        while epochs or fault_heap:
+            next_arrival = epochs[0][0].arrival_time if epochs else math.inf
+            next_fault = fault_heap[0][0] if fault_heap else math.inf
+            now = min(next_arrival, next_fault)
+
+            # Process every failure due by *now*; the queries the dead VMs
+            # had not completed become part of this pass's pending batch.
+            orphans: list[Query] = []
+            while fault_heap and fault_heap[0][0] <= now:
+                fail_time, seq = heapq.heappop(fault_heap)
+                vm = vms[seq]
+                if vm.dead:
+                    continue
+                vm.dead = True
+                keep: list[ScheduledQueryRecord] = []
+                for record in vm.records:
+                    if record.completion_time <= fail_time:
+                        keep.append(record)
+                        continue
+                    if record.start_time < fail_time:
+                        vm.wasted_time += fail_time - record.start_time
+                    orphans.append(record.query)
+                    requeues += 1
+                if len(keep) != len(vm.records):
+                    # The failure cost work: it counts, and the fee is sunk.
+                    vm.failed = True
+                    vm_failures += 1
+                vm.records = keep
+
+            # The new arrivals (if this event is one), the orphaned queries,
+            # plus everything committed but not yet started.
+            pending: list[tuple[Query, float]] = []
+            if epochs and epochs[0][0].arrival_time == now:
+                for query in epochs.popleft():
+                    originals[query.query_id] = query
+                    pending.append((query, 0.0))
+            for query in orphans:
+                pending.append((query, max(0.0, now - query.arrival_time)))
+            for vm in touched:
+                if vm.dead:
+                    continue
+                for record in vm.split_started(now):
+                    waited = max(0.0, now - record.query.arrival_time)
+                    pending.append((record.query, waited))
+
+            if not pending:
+                # An idle VM died with nothing to reschedule.
+                continue
+
+            started_at = time.perf_counter()
+            model, used_cache, used_base, trained = self._model_for_batch(pending)
+            retrains += trained
+            cache_hits += used_cache
+            base_model_uses += used_base
+
+            batch_workload = self._batch_workload(model, pending)
+            last_vm = next((vm for vm in reversed(vms) if not vm.dead), None)
+            existing_busy = max(0.0, last_vm.busy_until() - now) if last_vm else 0.0
+            result = BatchScheduler(model).schedule_detailed(
+                batch_workload,
+                existing_vm_type=last_vm.vm_type if last_vm else None,
+                existing_vm_busy_time=existing_busy,
+            )
+
+            touched = []
+            if last_vm is not None and result.placed_on_existing_vm:
+                for placed in result.placed_on_existing_vm:
+                    self._commit(last_vm, originals[placed.query_id], now, latency_model)
+                touched.append(last_vm)
+            for vm_assignment in result.schedule:
+                seq = len(vms)
+                profile = plan.profile_for(seq, vm_assignment.vm_type, now)
+                delay = plan.provisioning_delay(profile)
+                retries += profile.start_failures
+                new_vm = _VMRecord(
+                    vm_type=vm_assignment.vm_type,
+                    provision_time=now + delay,
+                    fail_time=profile.fail_time,
+                    fail_kind=profile.fail_kind,
+                    startup_delay=delay,
+                )
+                vms.append(new_vm)
+                if profile.fail_time is not None:
+                    heapq.heappush(fault_heap, (profile.fail_time, seq))
+                for placed in vm_assignment.queries:
+                    self._commit(new_vm, originals[placed.query_id], now, latency_model)
+                touched.append(new_vm)
+
+            overheads.append(time.perf_counter() - started_at)
+
+        outcomes = self._outcomes(vms)
+        cost = self._total_cost(vms, outcomes, base_goal)
+        report = OnlineSchedulingReport(
+            outcomes=outcomes,
+            cost=cost,
+            scheduling_overheads=overheads,
+            retrains=retrains,
+            cache_hits=cache_hits,
+            base_model_uses=base_model_uses,
+            num_vms=len(vms),
+            optimizations=self._optimizations,
+            retries=retries,
+            vm_failures=vm_failures,
+            requeues=requeues,
         )
         return report, vms
 
@@ -508,15 +700,27 @@ class OnlineScheduler:
         outcomes: tuple[QueryOutcome, ...],
         goal,
     ) -> CostBreakdown:
-        startup = sum(vm.vm_type.startup_cost for vm in vms)
+        startup = sum(vm.vm_type.startup_cost for vm in vms if not vm.failed)
         execution = sum(
             vm.vm_type.running_cost * record.execution_time
             for vm in vms
             for record in vm.records
         )
+        # A dead VM's provisioning fee is sunk spend, as is the partial
+        # execution time billed for the queries its failure interrupted.
+        # Rescheduling delay needs no explicit term: it shows up as later
+        # completion times, which the goal's penalty already prices.
+        wasted_startup = sum(vm.vm_type.startup_cost for vm in vms if vm.failed)
+        wasted_execution = sum(
+            vm.vm_type.running_cost * vm.wasted_time for vm in vms
+        )
         penalty = goal.penalty(outcomes)
         return CostBreakdown(
-            startup_cost=startup, execution_cost=execution, penalty_cost=penalty
+            startup_cost=startup,
+            execution_cost=execution,
+            penalty_cost=penalty,
+            wasted_startup_cost=wasted_startup,
+            wasted_execution_cost=wasted_execution,
         )
 
     # -- small helpers ----------------------------------------------------------------------

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import warnings
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -34,6 +36,10 @@ from repro.learning.trainer import TrainingResult
 
 #: Format marker written into every registry artifact.
 ARTIFACT_FORMAT = "wisedb-model-artifact"
+
+#: Subdirectory corrupt artifacts are moved into instead of being re-parsed
+#: (and re-failed) on every lookup.
+QUARANTINE_DIR = "quarantine"
 
 
 def canonical_json(data) -> str:
@@ -105,7 +111,9 @@ class ModelRegistry:
         Results are cached per process, so repeated hits return the same
         object without re-reading or re-parsing the artifact.  Corrupt,
         truncated, or foreign files are treated as misses (the caller then
-        retrains and overwrites them) rather than poisoning every lookup.
+        retrains and overwrites them) rather than poisoning every lookup;
+        they are moved into a ``quarantine/`` subdirectory, with a warning,
+        so the damage is preserved for inspection but never re-served.
         """
         cached = self._cache.get(fingerprint)
         if cached is not None:
@@ -116,7 +124,7 @@ class ModelRegistry:
         data = self._read_artifact(path)
         if data is None:
             return None
-        return self._materialize(fingerprint, data, n_jobs)
+        return self._materialize(fingerprint, data, n_jobs, path=path)
 
     def put(
         self,
@@ -152,10 +160,12 @@ class ModelRegistry:
             "training": result.to_dict(),
         }
         # Write-then-rename so a crash mid-write never leaves a truncated
-        # artifact under the final name.
-        staging = path.with_suffix(".json.tmp")
+        # artifact under the final name; the staging name is pid-unique so
+        # concurrent writers of the same fingerprint never clobber each
+        # other's half-written temp file (last rename wins, atomically).
+        staging = path.with_name(f".{fingerprint}.{os.getpid()}.tmp")
         staging.write_text(json.dumps(artifact), encoding="utf-8")
-        staging.replace(path)
+        os.replace(staging, path)
         return path
 
     # -- adaptive-base lookup ------------------------------------------------------
@@ -194,7 +204,7 @@ class ModelRegistry:
                     continue
                 self._bases[fingerprint] = data["base_fingerprint"]
                 if data["base_fingerprint"] == base_fingerprint:
-                    result = self._materialize(fingerprint, data, n_jobs)
+                    result = self._materialize(fingerprint, data, n_jobs, path=path)
                     if result is not None:
                         return result
         return None
@@ -206,31 +216,67 @@ class ModelRegistry:
             return None
         return self._directory / f"{fingerprint}.json"
 
-    @staticmethod
-    def _read_artifact(path: Path) -> dict | None:
-        """Parse an artifact file, returning ``None`` for anything unusable."""
+    def _read_artifact(self, path: Path) -> dict | None:
+        """Parse an artifact file, returning ``None`` for anything unusable.
+
+        Unusable files (truncated writes, hand-edited JSON, foreign formats)
+        are quarantined so later lookups do not re-parse — and re-fail on —
+        the same bytes.
+        """
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine(path, "is not valid JSON (truncated write?)")
             return None
         if not isinstance(data, dict) or data.get("format") != ARTIFACT_FORMAT:
+            self._quarantine(path, "is not a WiSeDB model artifact")
             return None
         if "training" not in data or "base_fingerprint" not in data:
+            self._quarantine(path, "is missing required artifact fields")
             return None
         return data
 
     def _materialize(
-        self, fingerprint: str, data: dict, n_jobs: int
+        self, fingerprint: str, data: dict, n_jobs: int, path: Path | None = None
     ) -> TrainingResult | None:
         """Turn a parsed artifact into a cached training result (None = corrupt)."""
         try:
             result = TrainingResult.from_dict(data["training"], n_jobs=n_jobs)
         except (KeyError, TypeError, ValueError, WiSeDBError):
+            if path is not None:
+                self._quarantine(path, "holds an unloadable training payload")
             return None
         self._cache[fingerprint] = result
         self._bases[fingerprint] = data["base_fingerprint"]
         self._provenance[fingerprint] = data.get("provenance", "fresh")
         return result
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt artifact aside (best-effort) and warn about it."""
+        if self._directory is None or not path.exists():
+            return
+        target_dir = self._directory / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = target_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+        except OSError:
+            # Quarantine is a convenience; a lookup miss must never raise.
+            return
+        warnings.warn(
+            f"model artifact {path.name} {reason}; moved to "
+            f"{target_dir / target.name} and treated as a registry miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def provenance(self, fingerprint: str) -> str | None:
         """How a stored artifact was trained ("fresh"/"adaptive"), if known.

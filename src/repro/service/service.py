@@ -42,6 +42,7 @@ from typing import Iterator, Mapping
 
 from repro.adaptive.recommendation import Strategy, StrategyRecommender
 from repro.adaptive.retraining import AdaptiveModeler, AdaptiveRetrainingReport
+from repro.baselines.first_fit import FirstFitDecreasingScheduler
 from repro.cloud.latency import (
     LatencyModel,
     TemplateLatencyModel,
@@ -53,7 +54,8 @@ from repro.config import TrainingConfig
 from repro.core.cost_model import CostBreakdown, CostModel
 from repro.core.schedule import Schedule
 from repro.core.scheduler import SchedulingOutcome
-from repro.exceptions import SpecificationError, TrainingError
+from repro.exceptions import SpecificationError, TrainingError, WiSeDBError
+from repro.faults.plan import FaultPlan
 from repro.learning.model import DecisionModel
 from repro.learning.trainer import ModelGenerator, TrainingResult
 from repro.parallel.backend import ExecutionBackend, backend_for, resolve_n_jobs
@@ -211,6 +213,7 @@ class WiSeDBService:
         registry: ModelRegistry | str | Path | None = None,
         n_jobs: int | None = None,
         backend: ExecutionBackend | None = None,
+        degraded_fallback: bool = True,
     ) -> None:
         """``registry`` may be an instance, a directory path, or ``None``
         (process-local registry).  ``n_jobs`` is the default worker count
@@ -221,7 +224,12 @@ class WiSeDBService:
         lazily creates — and owns — one shared warm backend sized by
         ``n_jobs`` (or, if that is ``None``, by the widest tenant
         configuration at first use), so consecutive (re)trainings across
-        tenants reuse one set of worker processes.
+        tenants reuse one set of worker processes.  ``degraded_fallback``
+        keeps scheduling available when a tenant's learned path fails (model
+        missing/corrupt, training error, repeated placement failure): the
+        request is served by the model-free FFD heuristic instead, and the
+        outcome is stamped ``degraded`` with the triggering error.  Set it to
+        False to surface such errors to the caller unchanged.
         """
         if isinstance(registry, (str, Path)):
             registry = ModelRegistry(registry)
@@ -230,6 +238,7 @@ class WiSeDBService:
         self._tenants: dict[str, Tenant] = {}
         self._backend = backend
         self._owns_backend = False
+        self._degraded_fallback = degraded_fallback
 
     # -- registry and tenant access --------------------------------------------------
 
@@ -518,19 +527,37 @@ class WiSeDBService:
         name: str,
         optimizations: OnlineOptimizations | None = None,
         wait_resolution: float = 30.0,
+        fault_plan: FaultPlan | None = None,
     ) -> OnlineScheduler:
-        """An online scheduler over the tenant's model (trains on demand)."""
+        """An online scheduler over the tenant's model (trains on demand).
+
+        ``fault_plan`` injects deterministic VM failures into the run (see
+        :mod:`repro.faults`); ``None`` or an empty plan is fault-free.
+        """
         tenant = self.tenant(name)
         return OnlineScheduler(
             base_training=self.train(name),
             generator=tenant.generator,
             optimizations=optimizations,
             wait_resolution=wait_resolution,
+            fault_plan=fault_plan,
         )
 
     def schedule_batch(self, name: str, workload: Workload) -> SchedulingOutcome:
-        """Schedule a batch for the tenant; returns the unified outcome."""
-        return self.batch_scheduler(name).run(workload)
+        """Schedule a batch for the tenant; returns the unified outcome.
+
+        When the learned path fails (missing/corrupt model artifact, training
+        error, placement failure) and ``degraded_fallback`` is enabled, the
+        batch is served by the FFD heuristic instead and the outcome is
+        stamped ``degraded`` with the triggering error.
+        """
+        tenant = self.tenant(name)
+        try:
+            return self.batch_scheduler(name).run(workload)
+        except WiSeDBError as error:
+            if not self._degraded_fallback:
+                raise
+            return self._degraded_outcome(tenant, workload, error)
 
     def run_online(
         self,
@@ -538,11 +565,46 @@ class WiSeDBService:
         workload: Workload,
         optimizations: OnlineOptimizations | None = None,
         wait_resolution: float = 30.0,
+        fault_plan: FaultPlan | None = None,
     ) -> SchedulingOutcome:
-        """Run the tenant's online scheduler; returns the unified outcome."""
-        return self.online_scheduler(
-            name, optimizations=optimizations, wait_resolution=wait_resolution
-        ).run(workload)
+        """Run the tenant's online scheduler; returns the unified outcome.
+
+        ``fault_plan`` injects deterministic VM failures (see
+        :mod:`repro.faults`).  Like :meth:`schedule_batch`, a failing learned
+        path degrades to the FFD heuristic when ``degraded_fallback`` is
+        enabled (the heuristic run itself is fault-free: it prices the
+        workload as one batch, which is the conservative upper bound the
+        degraded stamp advertises).
+        """
+        tenant = self.tenant(name)
+        try:
+            return self.online_scheduler(
+                name,
+                optimizations=optimizations,
+                wait_resolution=wait_resolution,
+                fault_plan=fault_plan,
+            ).run(workload)
+        except WiSeDBError as error:
+            if not self._degraded_fallback:
+                raise
+            return self._degraded_outcome(tenant, workload, error)
+
+    def _degraded_outcome(
+        self, tenant: Tenant, workload: Workload, error: WiSeDBError
+    ) -> SchedulingOutcome:
+        """Serve *workload* with the model-free FFD heuristic, stamped degraded."""
+        spec = tenant.spec
+        fallback = FirstFitDecreasingScheduler(
+            vm_type=spec.vm_types.default,
+            goal=spec.goal,
+            latency_model=spec.resolved_latency_model(),
+        )
+        outcome = fallback.run(workload)
+        return replace(
+            outcome,
+            degraded=True,
+            degraded_reason=f"{type(error).__name__}: {error}",
+        )
 
     def evaluate(
         self, name: str, schedule: Schedule, goal: PerformanceGoal | None = None

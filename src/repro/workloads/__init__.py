@@ -7,6 +7,7 @@ query templates, and concrete workloads are batches of template instances.
 
 from repro.workloads.generator import WorkloadGenerator, workload_of
 from repro.workloads.query import Query
+from repro.workloads.scenarios import SpotScenario, spot_revocation_scenario
 from repro.workloads.skew import (
     chi_squared_confidence,
     chi_squared_statistic,
@@ -25,6 +26,7 @@ from repro.workloads.workload import Workload
 __all__ = [
     "Query",
     "QueryTemplate",
+    "SpotScenario",
     "TemplateSet",
     "Workload",
     "WorkloadGenerator",
@@ -32,6 +34,7 @@ __all__ = [
     "chi_squared_statistic",
     "proportions_to_counts",
     "skewed_proportions",
+    "spot_revocation_scenario",
     "tpch_template",
     "tpch_templates",
     "uniform_templates",

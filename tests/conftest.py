@@ -176,3 +176,20 @@ def trained_per_query(model_generator, per_query_goal):
 def trained_average(model_generator, average_goal):
     """A trained model (and full training result) for the average-latency goal."""
     return model_generator.generate(average_goal)
+
+
+@pytest.fixture(scope="session")
+def trained_percentile(model_generator, percentile_goal):
+    """A trained model (and full training result) for the percentile goal."""
+    return model_generator.generate(percentile_goal)
+
+
+@pytest.fixture(scope="session")
+def all_trained(trained_max, trained_per_query, trained_average, trained_percentile):
+    """Training results for all four goal kinds, keyed by kind."""
+    return {
+        "max": trained_max,
+        "per_query": trained_per_query,
+        "average": trained_average,
+        "percentile": trained_percentile,
+    }

@@ -31,6 +31,24 @@ def _type_name(value) -> str:
     return type(value).__name__
 
 
+def _fail_on_odd(value: int) -> int:
+    """Picklable worker that rejects odd inputs (exception-surfacing tests)."""
+    if value % 2:
+        raise ValueError(f"odd input {value}")
+    return value
+
+
+class _UnpicklableError(Exception):
+    """An exception that refuses to cross the process boundary."""
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+
+def _raise_unpicklable(value):
+    raise _UnpicklableError(f"boom {value}")
+
+
 def _training_fingerprint(result) -> tuple:
     matrix, labels = result.training_set.to_matrix()
     return (
@@ -162,6 +180,42 @@ def test_repeatedly_failing_pool_pins_itself_serial():
     assert backend.map_tasks(_square, [(0, 3), (1, 4)]) == [9, 16]
     assert backend.spawn_count == 0  # never tried to respawn
     backend.close()
+
+
+def test_worker_exception_surfaces_first_in_index_order():
+    """A worker exception re-raises as itself, not as a degraded-pool artifact."""
+    with ProcessPoolBackend(n_jobs=2) as backend:
+        tasks = list(enumerate([0, 3, 2, 5]))  # indexes 1 and 3 fail
+        with pytest.raises(ValueError, match="odd input 3") as excinfo:
+            backend.map_tasks(_fail_on_odd, tasks)
+        # The worker-side traceback is chained via __cause__ (the
+        # concurrent.futures pattern), so the original failure site is visible.
+        cause = excinfo.value.__cause__
+        assert cause is not None
+        assert "_fail_on_odd" in str(cause)
+        assert "ValueError: odd input 3" in str(cause)
+        # A worker exception is not a pool failure: no serial fallback, the
+        # pool stays warm, and later calls still fan out through it.
+        assert backend.fallback_reason is None
+        assert backend.is_warm
+        assert backend.map_tasks(_square, [(0, 3), (1, 4)]) == [9, 16]
+        assert backend.spawn_count == 1
+
+
+def test_worker_exception_matches_serial_semantics():
+    """The serial backend raises the same first-index exception."""
+    with pytest.raises(ValueError, match="odd input 3"):
+        SerialBackend().map_tasks(_fail_on_odd, list(enumerate([0, 3, 2, 5])))
+
+
+def test_unpicklable_worker_exception_still_surfaces():
+    """Exceptions that cannot be pickled degrade to a described RuntimeError."""
+    with ProcessPoolBackend(n_jobs=2) as backend:
+        with pytest.raises(RuntimeError, match="worker task failed") as excinfo:
+            backend.map_tasks(_raise_unpicklable, [(0, 1), (1, 2)])
+        assert "_UnpicklableError" in str(excinfo.value)
+        assert excinfo.value.__cause__ is not None  # traceback text survives
+        assert backend.is_warm
 
 
 def test_backend_for_and_resolve_n_jobs():

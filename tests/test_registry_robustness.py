@@ -1,0 +1,214 @@
+"""Crash-safety of the model registry and the service's degraded mode.
+
+The registry must never serve — or keep re-parsing — a corrupt artifact:
+writes are atomic (temp file + ``os.replace``), and unusable files are moved
+into ``quarantine/`` with a warning instead of raising or being silently
+retried forever.  The service layer, in turn, must stay available when a
+tenant's learned path fails: scheduling falls back to the FFD heuristic and
+the outcome says so (``degraded`` + reason).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import TrainingConfig
+from repro.exceptions import TrainingError
+from repro.service.registry import QUARANTINE_DIR, ModelRegistry
+from repro.service.service import WiSeDBService
+from repro.sla.max_latency import MaxLatencyGoal
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TrainingConfig.tiny(seed=23)
+
+
+@pytest.fixture(scope="module")
+def goal(small_templates):
+    return MaxLatencyGoal.from_factor(small_templates, factor=2.5)
+
+
+def _train_once(directory, small_templates, goal, config, name="acme"):
+    service = WiSeDBService(registry=directory)
+    service.register(name, small_templates, goal, config=config)
+    service.train(name)
+    return service
+
+
+# ---------------------------------------------------------------------------
+# Atomic writes
+# ---------------------------------------------------------------------------
+
+
+class TestAtomicPut:
+    def test_put_leaves_no_staging_files(
+        self, tmp_path, small_templates, goal, config
+    ):
+        directory = tmp_path / "registry"
+        _train_once(directory, small_templates, goal, config)
+        leftovers = [p.name for p in directory.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        artifacts = list(directory.glob("*.json"))
+        assert len(artifacts) == 1
+        # The artifact under the final name is complete, valid JSON.
+        data = json.loads(artifacts[0].read_text(encoding="utf-8"))
+        assert data["format"] == "wisedb-model-artifact"
+
+    def test_repeated_put_overwrites_atomically(
+        self, tmp_path, small_templates, goal, config
+    ):
+        directory = tmp_path / "registry"
+        service = _train_once(directory, small_templates, goal, config)
+        fingerprint = service.tenant("acme").spec.fingerprint()
+        registry = ModelRegistry(directory)
+        result = registry.get(fingerprint, n_jobs=1)
+        assert result is not None
+        registry.put(
+            fingerprint,
+            service.tenant("acme").spec.base_fingerprint(),
+            service.tenant("acme").spec.to_dict(),
+            result,
+        )
+        assert ModelRegistry(directory).get(fingerprint, n_jobs=1) is not None
+
+
+# ---------------------------------------------------------------------------
+# Quarantine
+# ---------------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def test_truncated_artifact_is_quarantined_with_warning(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        name = "f" * 64
+        bad = tmp_path / f"{name}.json"
+        bad.write_text('{"format": "wisedb-model-art')
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            assert registry.get(name) is None
+        assert not bad.exists()
+        assert (tmp_path / QUARANTINE_DIR / bad.name).exists()
+        # Quarantined files disappear from the addressable set.
+        assert name not in registry.fingerprints()
+
+    def test_foreign_json_is_quarantined(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        bad = tmp_path / "foreign.json"
+        bad.write_text('{"hello": "world"}')
+        with pytest.warns(RuntimeWarning, match="not a WiSeDB model artifact"):
+            assert registry.get("foreign") is None
+        assert (tmp_path / QUARANTINE_DIR / "foreign.json").exists()
+
+    def test_unloadable_training_payload_is_quarantined(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        bad = tmp_path / "broken.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "format": "wisedb-model-artifact",
+                    "base_fingerprint": "b" * 64,
+                    "training": {"not": "a training result"},
+                }
+            )
+        )
+        with pytest.warns(RuntimeWarning, match="unloadable training payload"):
+            assert registry.get("broken") is None
+        assert (tmp_path / QUARANTINE_DIR / "broken.json").exists()
+
+    def test_collisions_get_unique_quarantine_names(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for expected in ("bad.json", "bad.json.1"):
+            (tmp_path / "bad.json").write_text("not json at all")
+            with pytest.warns(RuntimeWarning):
+                assert registry.get("bad") is None
+            assert (tmp_path / QUARANTINE_DIR / expected).exists()
+
+    def test_quarantine_does_not_break_find_base_scans(
+        self, tmp_path, small_templates, goal, config
+    ):
+        directory = tmp_path / "registry"
+        service = _train_once(directory, small_templates, goal, config)
+        # "!" sorts before any hex fingerprint, so the scan hits the junk
+        # file before it can return the healthy artifact.
+        (directory / "!junk.json").write_text("{{{{")
+        fresh = ModelRegistry(directory)
+        base = service.tenant("acme").spec.base_fingerprint()
+        with pytest.warns(RuntimeWarning):
+            assert fresh.find_base(base) is not None
+        assert (directory / QUARANTINE_DIR / "!junk.json").exists()
+
+    def test_corrupted_artifact_triggers_fresh_retrain(
+        self, tmp_path, small_templates, goal, config
+    ):
+        """End to end: corrupt the only artifact, a new service retrains."""
+        directory = tmp_path / "registry"
+        service = _train_once(directory, small_templates, goal, config)
+        artifact = next(directory.glob("*.json"))
+        artifact.write_text(artifact.read_text(encoding="utf-8")[:100])
+
+        fresh = WiSeDBService(registry=directory)
+        fresh.register("acme", small_templates, goal, config=config)
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            fresh.train("acme")
+        assert fresh.tenant("acme").provenance == "fresh"
+        # The healthy rewrite is addressable again; the damage is preserved.
+        assert service.tenant("acme").spec.fingerprint() in fresh.registry
+        assert list((directory / QUARANTINE_DIR).iterdir())
+
+
+# ---------------------------------------------------------------------------
+# Degraded mode
+# ---------------------------------------------------------------------------
+
+
+class _BrokenTrainingService(WiSeDBService):
+    """A service whose learned path always fails (simulates a corrupt model)."""
+
+    def train(self, name, mode="auto"):
+        raise TrainingError("simulated: model artifact corrupt")
+
+
+class TestDegradedMode:
+    @pytest.fixture()
+    def broken(self, small_templates, goal, config):
+        service = _BrokenTrainingService()
+        service.register("acme", small_templates, goal, config=config)
+        return service
+
+    def test_schedule_batch_degrades_to_ffd(self, broken, small_workload):
+        outcome = broken.schedule_batch("acme", small_workload)
+        assert outcome.degraded
+        assert "TrainingError" in outcome.degraded_reason
+        assert outcome.scheduler == "FFD"
+        assert len(outcome.query_outcomes) == len(small_workload)
+
+    def test_run_online_degrades_to_ffd(self, broken, small_workload):
+        outcome = broken.run_online("acme", small_workload)
+        assert outcome.degraded
+        assert outcome.scheduler == "FFD"
+
+    def test_degraded_fallback_off_surfaces_the_error(
+        self, small_templates, goal, config, small_workload
+    ):
+        service = _BrokenTrainingService(degraded_fallback=False)
+        service.register("acme", small_templates, goal, config=config)
+        with pytest.raises(TrainingError):
+            service.schedule_batch("acme", small_workload)
+
+    def test_healthy_path_is_not_stamped(
+        self, small_templates, goal, config, small_workload
+    ):
+        service = WiSeDBService()
+        service.register("acme", small_templates, goal, config=config)
+        outcome = service.schedule_batch("acme", small_workload)
+        assert not outcome.degraded
+        assert outcome.degraded_reason is None
+        service.close()
+
+    def test_unknown_tenant_still_raises(self, broken, small_workload):
+        from repro.exceptions import SpecificationError
+
+        with pytest.raises(SpecificationError):
+            broken.schedule_batch("nobody", small_workload)
