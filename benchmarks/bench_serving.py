@@ -1,0 +1,228 @@
+"""Serving-engine throughput and tail latency under open-loop load.
+
+The ROADMAP's serving milestone: the ~110–155µs no-retrain decision path
+(``BENCH_training_throughput.json``) implies O(10k) decisions/sec/core —
+prove it through the full async front end.  The scenarios drive a
+four-tenant engine (one tenant per goal kind, models pre-trained by the
+shared ``environments`` fixture) with seeded arrival processes from
+``repro.workloads.arrivals`` and record:
+
+* ``singleton``  — every arrival its own epoch (worst case per-decision
+  cost), firehose offered rate: the sustained no-retrain decisions/sec
+  headline (acceptance: >= 5,000/sec on the 1-core container);
+* ``epoch-batched`` — quantized arrivals coalesce into multi-query epochs
+  (the PR 3 admission-batching a busy endpoint enjoys);
+* ``paced``      — offered rate well under capacity: the p50/p99 decision
+  latency an un-overloaded endpoint shows;
+* ``overload-shed`` — a tiny admission queue under firehose load with the
+  ``shed`` policy: sheds are counted and reasoned, never silent;
+* ``degraded``   — a tenant whose learned path is broken end-to-end: every
+  decision served by the FFD fallback and stamped.
+
+Results merge into ``BENCH_serving.json`` for commit-over-commit tracking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+from repro.service import WiSeDBService
+from repro.serving import ServingEngine, TenantStream, drive
+from repro.evaluation.harness import format_table
+from repro.exceptions import TrainingError
+from repro.sla.factory import GOAL_KINDS
+from repro.workloads.arrivals import poisson_arrivals
+
+from conftest import merge_bench_json, print_figure
+
+#: Waits all round to the zero bucket: base model only, no retraining.
+NO_RETRAIN = 1.0e9
+
+QUERIES_PER_TENANT = 1200
+PACED_QUERIES = 600
+PACED_RATE = 1500.0
+OVERLOAD_QUERIES = 2000
+DEGRADED_QUERIES = 300
+
+
+def _service_for(environments):
+    """A service whose tenants (one per goal kind) reuse the trained models."""
+    service = WiSeDBService()
+    for kind in GOAL_KINDS:
+        environment = environments[kind]
+        service.register(
+            kind,
+            environment.templates,
+            environment.goal,
+            vm_types=environment.vm_types,
+            config=environment.training.config,
+        )
+        tenant = service.tenant(kind)
+        tenant.training = environment.training
+        tenant.provenance = "fresh"
+    return service
+
+
+class _BrokenTrainingService(WiSeDBService):
+    """Learned path always fails: every lane serves via the FFD fallback."""
+
+    def train(self, name, mode="auto"):
+        raise TrainingError("simulated: model artifact corrupt")
+
+
+def _streams(environments, queries, quantum=None, rate=40.0):
+    return [
+        TenantStream(
+            kind,
+            poisson_arrivals(
+                environments[kind].templates,
+                queries,
+                rate=rate,
+                seed=97,
+                tenant=kind,
+                quantum=quantum,
+            ),
+        )
+        for kind in GOAL_KINDS
+    ]
+
+
+def _drive(service, streams, target_rate=None, yield_every=64, **engine_kwargs):
+    async def main():
+        engine = ServingEngine(service, wait_resolution=NO_RETRAIN, **engine_kwargs)
+        async with engine:
+            report = await drive(
+                engine, streams, target_rate=target_rate, yield_every=yield_every
+            )
+            snapshot = engine.metrics()
+        return report, snapshot
+
+    return asyncio.run(main())
+
+
+def _row(name, report, snapshot):
+    latencies_p50 = [
+        entry.decision_p50 for entry in snapshot.tenants
+        if not math.isnan(entry.decision_p50)
+    ]
+    latencies_p99 = [
+        entry.decision_p99 for entry in snapshot.tenants
+        if not math.isnan(entry.decision_p99)
+    ]
+    return {
+        "scenario": name,
+        "tenants": len(snapshot.tenants),
+        "submitted": snapshot.submitted,
+        "decided": snapshot.decided,
+        "epochs": snapshot.epochs,
+        "sustained/s": round(report.sustained_rate, 1),
+        "p50 (ms)": round(max(latencies_p50, default=math.nan) * 1e3, 3),
+        "p99 (ms)": round(max(latencies_p99, default=math.nan) * 1e3, 3),
+        "shed": snapshot.shed,
+        "degraded": snapshot.degraded,
+        "retrains": snapshot.retrains,
+    }
+
+
+def _run(environments, scale):
+    service = _service_for(environments)
+    rows = []
+
+    # 1. Firehose, one epoch per arrival: the per-decision throughput floor.
+    report, snapshot = _drive(
+        service, _streams(environments, QUERIES_PER_TENANT)
+    )
+    assert snapshot.retrains == 0
+    rows.append(_row("singleton", report, snapshot))
+    singleton_rate = report.sustained_rate
+
+    # 2. Firehose with quantized arrivals: epoch batching amortizes parses.
+    report, snapshot = _drive(
+        service, _streams(environments, QUERIES_PER_TENANT, quantum=0.2)
+    )
+    assert snapshot.retrains == 0
+    rows.append(_row("epoch-batched", report, snapshot))
+    batched_rate = report.sustained_rate
+
+    # 3. Paced well under capacity: the un-overloaded tail.
+    report, snapshot = _drive(
+        service,
+        _streams(environments, PACED_QUERIES),
+        target_rate=PACED_RATE,
+    )
+    rows.append(_row("paced", report, snapshot))
+
+    # 4. Overload a tiny queue with the shed policy: counted refusals.
+    # The driver outruns the worker by 4x between yields, so the 64-slot
+    # queue genuinely overflows instead of being drained just in time.
+    report, snapshot = _drive(
+        service,
+        _streams(environments, OVERLOAD_QUERIES)[:1],
+        queue_limit=64,
+        backpressure="shed",
+        yield_every=256,
+    )
+    assert snapshot.shed > 0
+    rows.append(_row("overload-shed", report, snapshot))
+
+    # 5. A broken learned path: every decision degraded, stamped, counted.
+    broken = _BrokenTrainingService()
+    kind = GOAL_KINDS[0]
+    environment = environments[kind]
+    broken.register(
+        kind,
+        environment.templates,
+        environment.goal,
+        vm_types=environment.vm_types,
+        config=environment.training.config,
+    )
+    report, snapshot = _drive(
+        broken, _streams(environments, DEGRADED_QUERIES)[:1]
+    )
+    assert snapshot.degraded == DEGRADED_QUERIES
+    rows.append(_row("degraded", report, snapshot))
+    broken.close()
+
+    service.close()
+    return rows, max(singleton_rate, batched_rate)
+
+
+def test_serving_throughput_and_tail_latency(benchmark, environments, scale):
+    rows, no_retrain_rate = benchmark.pedantic(
+        _run, args=(environments, scale), rounds=1, iterations=1
+    )
+    columns = [
+        "scenario",
+        "tenants",
+        "submitted",
+        "decided",
+        "epochs",
+        "sustained/s",
+        "p50 (ms)",
+        "p99 (ms)",
+        "shed",
+        "degraded",
+        "retrains",
+    ]
+    print_figure(
+        "Serving front end: open-loop throughput and tail latency "
+        f"({scale.name} scale)",
+        format_table(rows, columns),
+    )
+    merge_bench_json(
+        "serving",
+        {
+            "scale": scale.name,
+            "queries_per_tenant": QUERIES_PER_TENANT,
+            "serving": rows,
+            "acceptance": {
+                "no_retrain_decisions_per_sec": round(no_retrain_rate, 1),
+                "target_decisions_per_sec": 5000.0,
+            },
+        },
+    )
+    assert no_retrain_rate >= 5000.0, (
+        f"sustained no-retrain decision rate {no_retrain_rate:.0f}/s "
+        "fell below the 5,000/s serving acceptance"
+    )

@@ -71,3 +71,8 @@ class ModelError(WiSeDBError):
 
 class GoalError(WiSeDBError):
     """A performance goal is invalid or an unsupported operation was requested."""
+
+
+class ConcurrencyError(WiSeDBError):
+    """Concurrent mutation of single-writer state (e.g. one tenant's online
+    scheduler) was detected and refused before it could interleave silently."""

@@ -39,6 +39,19 @@ inference fast path (preallocated feature rows + compiled tree evaluator).
 loop; for streams with distinct arrival times the two paths are bit-identical
 (asserted by the golden-scenario and equivalence suites).
 
+Serving sessions
+----------------
+
+:meth:`OnlineScheduler.session` opens an :class:`OnlineSession` — the
+re-entrant, incremental form of the arrival loop that the serving front end
+(:mod:`repro.serving`) is built on.  A session accepts arrival epochs one
+call at a time, carries the scheduler's mutable state (rented VMs, the wait
+queue, model caches and counters) across calls, and reports each epoch's
+placements as an :class:`EpochDecision`.  The batch entry point ``run()`` is
+itself implemented over a session, so submitting a seeded stream epoch by
+epoch is *bit-identical* to running the whole workload at once — the
+equivalence contract the serving test suite locks.
+
 Fault tolerance
 ---------------
 
@@ -62,6 +75,7 @@ import math
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.adaptive.retraining import AdaptiveModeler
 from repro.cloud.vm import VMType
@@ -208,6 +222,52 @@ class OnlineSchedulingReport:
         return sum(self.scheduling_overheads)
 
 
+@dataclass(frozen=True)
+class QueryPlacement:
+    """Where one query landed during one epoch's scheduling pass.
+
+    ``vm_index`` is the VM's provisioning sequence number within the run
+    (stable across epochs); start/completion times are in simulation seconds.
+    A waiting query can be re-placed by a later epoch's pull-back, so a
+    placement is definitive only once the stream is finalized.
+    """
+
+    query_id: int
+    template_name: str
+    vm_index: int
+    vm_type_name: str
+    start_time: float
+    completion_time: float
+
+
+@dataclass(frozen=True)
+class EpochDecision:
+    """What one :meth:`OnlineSession.submit` call decided.
+
+    ``placements`` covers every commitment the epoch made — the new arrivals
+    *and* any waiting queries the pull-back re-placed; ``arrivals`` names the
+    query ids that arrived this epoch.  The model-selection flags mirror the
+    run-level counters (exactly one of ``retrained``/``cache_hit``/
+    ``used_base_model`` is true per epoch).
+    """
+
+    epoch_time: float
+    arrivals: tuple[int, ...]
+    placements: tuple[QueryPlacement, ...]
+    retrained: bool
+    cache_hit: bool
+    used_base_model: bool
+    new_vms: int
+    overhead_seconds: float
+
+    def placement_for(self, query_id: int) -> QueryPlacement:
+        """The placement of *query_id* in this epoch (raises if not placed)."""
+        for placement in self.placements:
+            if placement.query_id == query_id:
+                return placement
+        raise SpecificationError(f"query {query_id} was not placed in this epoch")
+
+
 class OnlineScheduler:
     """Schedules queries as they arrive, using and adapting a trained model."""
 
@@ -266,6 +326,12 @@ class OnlineScheduler:
         available for the full per-arrival report Figures 18-19 are built on.
         """
         report, vms = self._executed(workload)
+        return self._outcome_from(report, vms)
+
+    def _outcome_from(
+        self, report: OnlineSchedulingReport, vms: list["_VMRecord"]
+    ) -> SchedulingOutcome:
+        """Assemble the unified outcome shared by :meth:`run` and sessions."""
         schedule = Schedule(
             VMAssignment(vm.vm_type, tuple(record.query for record in vm.records))
             for vm in vms
@@ -332,88 +398,39 @@ class OnlineScheduler:
                 epochs.append([query])
         return epochs
 
+    def session(self) -> "OnlineSession":
+        """Open an incremental arrival session (the serving re-entrancy hook).
+
+        The returned :class:`OnlineSession` accepts epochs one
+        :meth:`~OnlineSession.submit` call at a time and carries the arrival
+        loop's mutable state across calls; submitting a stream epoch by epoch
+        then finalizing is bit-identical to :meth:`run` on the equivalent
+        workload.  Fault-injected schedulers cannot open sessions — the
+        discrete-event failure loop needs the whole stream to interleave VM
+        failures with arrivals, so :meth:`run` handles those end to end.
+        """
+        if self._fault_plan is not None:
+            raise SpecificationError(
+                "incremental sessions do not support fault plans; "
+                "run() schedules fault-injected streams end to end"
+            )
+        return OnlineSession(self)
+
     def _execute(
         self, workload: Workload
     ) -> tuple[OnlineSchedulingReport, list["_VMRecord"]]:
-        """The arrival loop shared by :meth:`run` and :meth:`run_report`."""
+        """The arrival loop shared by :meth:`run` and :meth:`run_report`.
+
+        Implemented over :class:`OnlineSession` — one ``submit`` per arrival
+        epoch — so the batch entry point and the serving front end share a
+        single code path (and therefore bit-identical behaviour).
+        """
         if self._fault_plan is not None:
             return self._execute_with_faults(workload)
-        base_goal = self._base.goal
-        latency_model = self._generator.latency_model
-
-        vms: list[_VMRecord] = []
-        originals: dict[int, Query] = {}
-        overheads: list[float] = []
-        retrains = 0
-        cache_hits = 0
-        base_model_uses = 0
-        # Only the VMs committed to in the previous epoch can still hold
-        # records that have not started executing (everything else was either
-        # pulled back then or had already started), so the pull-back scan
-        # walks this list instead of every VM ever rented — the scheduling
-        # state persists across arrivals instead of being rebuilt from a full
-        # rescan, and a long run's per-arrival cost stays proportional to the
-        # wait queue, not to the total VM count.
-        touched: list[_VMRecord] = []
-
+        session = OnlineSession(self)
         for epoch in self._arrival_epochs(workload):
-            now = epoch[0].arrival_time
-            started_at = time.perf_counter()
-
-            # The new arrivals plus everything that has not started executing.
-            pending: list[tuple[Query, float]] = []
-            for query in epoch:
-                originals[query.query_id] = query
-                pending.append((query, 0.0))
-            for vm in touched:
-                for record in vm.split_started(now):
-                    waited = max(0.0, now - record.query.arrival_time)
-                    pending.append((record.query, waited))
-
-            # Choose (or derive) the model for this batch.
-            model, used_cache, used_base, trained = self._model_for_batch(pending)
-            retrains += trained
-            cache_hits += used_cache
-            base_model_uses += used_base
-
-            # Schedule the batch, allowing placements on the most recent VM.
-            batch_workload = self._batch_workload(model, pending)
-            last_vm = vms[-1] if vms else None
-            existing_busy = max(0.0, last_vm.busy_until() - now) if last_vm else 0.0
-            result = BatchScheduler(model).schedule_detailed(
-                batch_workload,
-                existing_vm_type=last_vm.vm_type if last_vm else None,
-                existing_vm_busy_time=existing_busy,
-            )
-
-            # Commit the decisions with true (non-augmented) execution times.
-            touched = []
-            if last_vm is not None and result.placed_on_existing_vm:
-                for placed in result.placed_on_existing_vm:
-                    self._commit(last_vm, originals[placed.query_id], now, latency_model)
-                touched.append(last_vm)
-            for vm_assignment in result.schedule:
-                new_vm = _VMRecord(vm_type=vm_assignment.vm_type, provision_time=now)
-                vms.append(new_vm)
-                for placed in vm_assignment.queries:
-                    self._commit(new_vm, originals[placed.query_id], now, latency_model)
-                touched.append(new_vm)
-
-            overheads.append(time.perf_counter() - started_at)
-
-        outcomes = self._outcomes(vms)
-        cost = self._total_cost(vms, outcomes, base_goal)
-        report = OnlineSchedulingReport(
-            outcomes=outcomes,
-            cost=cost,
-            scheduling_overheads=overheads,
-            retrains=retrains,
-            cache_hits=cache_hits,
-            base_model_uses=base_model_uses,
-            num_vms=len(vms),
-            optimizations=self._optimizations,
-        )
-        return report, vms
+            session.submit(epoch)
+        return session.finalize(), session._vms
 
     def _execute_with_faults(
         self, workload: Workload
@@ -735,3 +752,206 @@ class OnlineScheduler:
     def _aged_name(template_name: str, waited: float) -> str:
         """Name of the synthetic template representing an aged query."""
         return f"{template_name}+{int(round(waited))}s"
+
+
+class OnlineSession:
+    """An incremental, re-entrant handle on the online arrival loop.
+
+    Where :meth:`OnlineScheduler.run` consumes a whole workload at once, a
+    session accepts arrival *epochs* one :meth:`submit` call at a time —
+    exactly the shape a serving front end needs: queries arrive continuously,
+    each same-timestamp group is one scheduling event, and the scheduler's
+    state (rented VMs, the wait queue, model caches, counters) persists
+    between events.  ``run()`` is itself implemented over a session, so for
+    any arrival stream::
+
+        session = scheduler.session()
+        for epoch in epochs:
+            session.submit(epoch)
+        report = session.finalize()
+
+    is bit-identical to ``scheduler.run()`` on the equivalent workload — the
+    contract :mod:`repro.serving` builds on and the serving equivalence suite
+    locks.
+
+    Epochs must be submitted in non-decreasing time order, and every query in
+    one ``submit`` call must share a single arrival time (the PR-3 epoch
+    semantics: simultaneous arrivals are one scheduling event).  Sessions are
+    not thread-safe; the service's per-tenant single-writer guard exists to
+    keep concurrent writers out.
+    """
+
+    def __init__(self, scheduler: OnlineScheduler) -> None:
+        self._scheduler = scheduler
+        self._vms: list[_VMRecord] = []
+        self._originals: dict[int, Query] = {}
+        self._overheads: list[float] = []
+        self._retrains = 0
+        self._cache_hits = 0
+        self._base_model_uses = 0
+        # Only the VMs committed to in the previous epoch can still hold
+        # records that have not started executing (everything else was either
+        # pulled back then or had already started), so the pull-back scan
+        # walks this list instead of every VM ever rented — a long stream's
+        # per-arrival cost stays proportional to the wait queue, not to the
+        # total VM count.
+        self._touched: list[_VMRecord] = []
+        self._last_epoch_time = -math.inf
+        self._report: OnlineSchedulingReport | None = None
+
+    @property
+    def epochs(self) -> int:
+        """Number of epochs decided so far."""
+        return len(self._overheads)
+
+    @property
+    def num_vms(self) -> int:
+        """Number of VMs provisioned so far."""
+        return len(self._vms)
+
+    @property
+    def retrains(self) -> int:
+        """Wait-triggered model retrainings so far."""
+        return self._retrains
+
+    @property
+    def cache_hits(self) -> int:
+        """Wait-bucket model-cache hits so far."""
+        return self._cache_hits
+
+    @property
+    def finalized(self) -> bool:
+        """True once :meth:`finalize` (or :meth:`outcome`) has been called."""
+        return self._report is not None
+
+    def submit(self, arrivals: Sequence[Query]) -> EpochDecision:
+        """Schedule one arrival epoch and report its placements.
+
+        *arrivals* must be non-empty and share a single arrival time that is
+        not earlier than any previously submitted epoch's.  Queries are
+        ordered by id within the epoch, matching ``run()``'s grouping of the
+        equivalent workload.
+        """
+        if self._report is not None:
+            raise SpecificationError(
+                "this session is finalized; open a new session() for a new stream"
+            )
+        epoch = sorted(arrivals, key=lambda query: query.query_id)
+        if not epoch:
+            raise SpecificationError("an epoch must contain at least one arrival")
+        now = epoch[0].arrival_time
+        for query in epoch:
+            if query.arrival_time != now:
+                raise SpecificationError(
+                    "all arrivals in one epoch must share one arrival time "
+                    f"(got {query.arrival_time} and {now})"
+                )
+        if now < self._last_epoch_time:
+            raise SpecificationError(
+                "epochs must be submitted in time order "
+                f"(epoch at t={now} after t={self._last_epoch_time})"
+            )
+        self._last_epoch_time = now
+
+        scheduler = self._scheduler
+        latency_model = scheduler._generator.latency_model
+        started_at = time.perf_counter()
+
+        # The new arrivals plus everything that has not started executing.
+        pending: list[tuple[Query, float]] = []
+        for query in epoch:
+            self._originals[query.query_id] = query
+            pending.append((query, 0.0))
+        for vm in self._touched:
+            for record in vm.split_started(now):
+                waited = max(0.0, now - record.query.arrival_time)
+                pending.append((record.query, waited))
+
+        # Choose (or derive) the model for this batch.
+        model, used_cache, used_base, trained = scheduler._model_for_batch(pending)
+        self._retrains += trained
+        self._cache_hits += used_cache
+        self._base_model_uses += used_base
+
+        # Schedule the batch, allowing placements on the most recent VM.
+        batch_workload = scheduler._batch_workload(model, pending)
+        vms = self._vms
+        last_vm = vms[-1] if vms else None
+        existing_busy = max(0.0, last_vm.busy_until() - now) if last_vm else 0.0
+        result = BatchScheduler(model).schedule_detailed(
+            batch_workload,
+            existing_vm_type=last_vm.vm_type if last_vm else None,
+            existing_vm_busy_time=existing_busy,
+        )
+
+        # Commit the decisions with true (non-augmented) execution times.
+        placements: list[QueryPlacement] = []
+        new_vms = 0
+        self._touched = touched = []
+        if last_vm is not None and result.placed_on_existing_vm:
+            last_index = len(vms) - 1
+            for placed in result.placed_on_existing_vm:
+                scheduler._commit(
+                    last_vm, self._originals[placed.query_id], now, latency_model
+                )
+                placements.append(self._placement(last_vm, last_index))
+            touched.append(last_vm)
+        for vm_assignment in result.schedule:
+            new_vm = _VMRecord(vm_type=vm_assignment.vm_type, provision_time=now)
+            vm_index = len(vms)
+            vms.append(new_vm)
+            new_vms += 1
+            for placed in vm_assignment.queries:
+                scheduler._commit(
+                    new_vm, self._originals[placed.query_id], now, latency_model
+                )
+                placements.append(self._placement(new_vm, vm_index))
+            touched.append(new_vm)
+
+        overhead = time.perf_counter() - started_at
+        self._overheads.append(overhead)
+        return EpochDecision(
+            epoch_time=now,
+            arrivals=tuple(query.query_id for query in epoch),
+            placements=tuple(placements),
+            retrained=bool(trained),
+            cache_hit=bool(used_cache),
+            used_base_model=bool(used_base),
+            new_vms=new_vms,
+            overhead_seconds=overhead,
+        )
+
+    @staticmethod
+    def _placement(vm: _VMRecord, vm_index: int) -> QueryPlacement:
+        """The placement record for the commit that just landed on *vm*."""
+        record = vm.records[-1]
+        return QueryPlacement(
+            query_id=record.query.query_id,
+            template_name=record.template_name,
+            vm_index=vm_index,
+            vm_type_name=vm.vm_type.name,
+            start_time=record.start_time,
+            completion_time=record.completion_time,
+        )
+
+    def finalize(self) -> OnlineSchedulingReport:
+        """Close the stream and price it (idempotent; no further submits)."""
+        if self._report is None:
+            scheduler = self._scheduler
+            outcomes = scheduler._outcomes(self._vms)
+            cost = scheduler._total_cost(self._vms, outcomes, scheduler._base.goal)
+            self._report = OnlineSchedulingReport(
+                outcomes=outcomes,
+                cost=cost,
+                scheduling_overheads=self._overheads,
+                retrains=self._retrains,
+                cache_hits=self._cache_hits,
+                base_model_uses=self._base_model_uses,
+                num_vms=len(self._vms),
+                optimizations=scheduler._optimizations,
+            )
+        return self._report
+
+    def outcome(self) -> SchedulingOutcome:
+        """Finalize and return the unified outcome (same shape as ``run()``)."""
+        return self._scheduler._outcome_from(self.finalize(), self._vms)

@@ -36,6 +36,8 @@ restored tenants schedule bit-identically to the originals.
 from __future__ import annotations
 
 import json
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator, Mapping
@@ -54,7 +56,12 @@ from repro.config import TrainingConfig
 from repro.core.cost_model import CostBreakdown, CostModel
 from repro.core.schedule import Schedule
 from repro.core.scheduler import SchedulingOutcome
-from repro.exceptions import SpecificationError, TrainingError, WiSeDBError
+from repro.exceptions import (
+    ConcurrencyError,
+    SpecificationError,
+    TrainingError,
+    WiSeDBError,
+)
 from repro.faults.plan import FaultPlan
 from repro.learning.model import DecisionModel
 from repro.learning.trainer import ModelGenerator, TrainingResult
@@ -163,6 +170,8 @@ class Tenant:
         self.provenance: str | None = None
         self._generator: ModelGenerator | None = None
         self._backend_factory = backend_factory
+        self._write_lock = threading.Lock()
+        self._write_operation: str | None = None
 
     @property
     def name(self) -> str:
@@ -203,6 +212,32 @@ class Tenant:
         self.training = None
         self.provenance = None
         self._generator = None
+
+    @contextmanager
+    def exclusive(self, operation: str) -> Iterator[None]:
+        """Hold the tenant's single-writer guard for the duration of *operation*.
+
+        A tenant's online-scheduling state (rented VMs, the wait queue, model
+        caches) is mutable and single-writer: two concurrent ``run_online``
+        calls would interleave it silently.  The guard makes that loud — a
+        second writer gets :class:`~repro.exceptions.ConcurrencyError` naming
+        the operation already in flight instead of corrupted state.  The
+        serving engine holds this guard for its whole lane lifetime, which is
+        why direct scheduling calls against an actively served tenant are
+        refused.
+        """
+        if not self._write_lock.acquire(blocking=False):
+            raise ConcurrencyError(
+                f"tenant {self.spec.name!r} is busy inside "
+                f"{self._write_operation!r}; its online state is single-writer "
+                f"— serialize per-tenant calls (refused: {operation!r})"
+            )
+        self._write_operation = operation
+        try:
+            yield
+        finally:
+            self._write_operation = None
+            self._write_lock.release()
 
 
 class WiSeDBService:
@@ -246,6 +281,11 @@ class WiSeDBService:
     def registry(self) -> ModelRegistry:
         """The model registry backing this service."""
         return self._registry
+
+    @property
+    def degraded_fallback(self) -> bool:
+        """Whether a failing learned path degrades to the FFD heuristic."""
+        return self._degraded_fallback
 
     # -- the shared execution backend --------------------------------------------------
 
@@ -552,12 +592,16 @@ class WiSeDBService:
         stamped ``degraded`` with the triggering error.
         """
         tenant = self.tenant(name)
-        try:
-            return self.batch_scheduler(name).run(workload)
-        except WiSeDBError as error:
-            if not self._degraded_fallback:
-                raise
-            return self._degraded_outcome(tenant, workload, error)
+        # The guard sits outside the degraded-fallback net on purpose: a
+        # concurrent-writer refusal is caller misuse, not a learned-path
+        # failure, and must never be papered over by the FFD heuristic.
+        with tenant.exclusive("schedule_batch"):
+            try:
+                return self.batch_scheduler(name).run(workload)
+            except WiSeDBError as error:
+                if not self._degraded_fallback:
+                    raise
+                return self._degraded_outcome(tenant, workload, error)
 
     def run_online(
         self,
@@ -577,17 +621,18 @@ class WiSeDBService:
         degraded stamp advertises).
         """
         tenant = self.tenant(name)
-        try:
-            return self.online_scheduler(
-                name,
-                optimizations=optimizations,
-                wait_resolution=wait_resolution,
-                fault_plan=fault_plan,
-            ).run(workload)
-        except WiSeDBError as error:
-            if not self._degraded_fallback:
-                raise
-            return self._degraded_outcome(tenant, workload, error)
+        with tenant.exclusive("run_online"):
+            try:
+                return self.online_scheduler(
+                    name,
+                    optimizations=optimizations,
+                    wait_resolution=wait_resolution,
+                    fault_plan=fault_plan,
+                ).run(workload)
+            except WiSeDBError as error:
+                if not self._degraded_fallback:
+                    raise
+                return self._degraded_outcome(tenant, workload, error)
 
     def _degraded_outcome(
         self, tenant: Tenant, workload: Workload, error: WiSeDBError

@@ -1,0 +1,44 @@
+"""Async multi-tenant serving front end over :class:`~repro.service.WiSeDBService`.
+
+This package is the serving layer the ROADMAP's north star calls for: it
+turns the library-shaped service into a long-lived endpoint that multiplexes
+many tenants on one event loop, funnels each tenant's arrivals through its
+online scheduler's epoch-batching path, applies explicit backpressure, and
+exposes health and metrics.
+
+* :class:`ServingEngine` — the front end: per-tenant lanes (bounded admission
+  queue + worker task + incremental
+  :class:`~repro.runtime.online.OnlineSession`), ``block``/``shed``
+  backpressure, sticky degraded fallback, single-writer tenant guards, and a
+  bit-identical-to-``OnlineScheduler.run`` decision stream;
+* :class:`ServingMetrics` / :class:`TenantMetrics` — observability snapshots
+  (per-tenant decision p50/p99, queue depth, admitted/shed/degraded counters,
+  epochs, retrains) plus :meth:`ServingEngine.health`;
+* :func:`drive` / :class:`TenantStream` / :class:`LoadReport` — the open-loop
+  workload driver behind ``benchmarks/bench_serving.py``, replaying seeded
+  arrival processes (:mod:`repro.workloads.arrivals`) at a target offered
+  rate regardless of response times.
+"""
+
+from repro.serving.engine import (
+    Admission,
+    ServingDecision,
+    ServingEngine,
+    ServingTicket,
+)
+from repro.serving.loadgen import LoadReport, TenantStream, drive, merge_streams
+from repro.serving.metrics import ServingMetrics, TenantMetrics, percentile
+
+__all__ = [
+    "Admission",
+    "LoadReport",
+    "ServingDecision",
+    "ServingEngine",
+    "ServingMetrics",
+    "ServingTicket",
+    "TenantMetrics",
+    "TenantStream",
+    "drive",
+    "merge_streams",
+    "percentile",
+]

@@ -1,0 +1,140 @@
+"""Observability surface of the serving engine.
+
+Snapshots are plain frozen dataclasses assembled on demand from the engine's
+per-tenant lanes — taking one never blocks the decision path, and the hot
+counters the lanes maintain are single ints/floats appended per decision.
+
+The counter identities the accounting tests pin::
+
+    submitted == admitted + shed
+    admitted  == decided + failed + in_flight
+    in_flight == queue_depth + pending_epoch
+
+``decided`` includes degraded decisions (they *are* answers, served by the
+FFD fallback and stamped with a reason); ``failed`` counts queries whose lane
+refused to answer because degradation is disabled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """The *fraction*-quantile of *values* (nearest-rank; NaN when empty)."""
+    if not values:
+        return math.nan
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class TenantMetrics:
+    """One tenant lane's counters and decision-latency percentiles."""
+
+    tenant: str
+    #: Queries offered to :meth:`ServingEngine.submit` for this tenant.
+    submitted: int
+    #: Queries accepted into the admission queue.
+    admitted: int
+    #: Queries refused by the ``shed`` backpressure policy (with reasons).
+    shed: int
+    #: Queries answered with a placement (learned or degraded).
+    decided: int
+    #: Decided queries that were served by the degraded FFD fallback.
+    degraded: int
+    #: Queries the lane could not answer (degradation disabled).
+    failed: int
+    #: Queries currently waiting in the admission queue.
+    queue_depth: int
+    #: Queries admitted but not yet decided (queue + pending epoch).
+    in_flight: int
+    #: Scheduling events decided (same-timestamp arrivals share one epoch).
+    epochs: int
+    #: Model retrainings triggered by accumulated waits.
+    retrains: int
+    #: Wait-bucket cache hits on the decision path.
+    cache_hits: int
+    #: Decision latency percentiles over the lane's recent window, in seconds
+    #: (submission to decision; NaN until the first decision).
+    decision_p50: float
+    decision_p99: float
+    #: Sticky degradation reason (``None`` while the learned path is healthy).
+    degraded_reason: str | None = None
+
+    def check_identities(self) -> None:
+        """Raise ``AssertionError`` unless the counter identities hold."""
+        assert self.submitted == self.admitted + self.shed, self
+        assert self.admitted == self.decided + self.failed + self.in_flight, self
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """A whole-engine snapshot: health plus one entry per tenant lane."""
+
+    status: str
+    tenants: tuple[TenantMetrics, ...] = field(default_factory=tuple)
+
+    def tenant(self, name: str) -> TenantMetrics:
+        """The snapshot entry for *name* (raises ``KeyError`` if absent)."""
+        for entry in self.tenants:
+            if entry.tenant == name:
+                return entry
+        raise KeyError(name)
+
+    @property
+    def submitted(self) -> int:
+        return sum(entry.submitted for entry in self.tenants)
+
+    @property
+    def admitted(self) -> int:
+        return sum(entry.admitted for entry in self.tenants)
+
+    @property
+    def shed(self) -> int:
+        return sum(entry.shed for entry in self.tenants)
+
+    @property
+    def decided(self) -> int:
+        return sum(entry.decided for entry in self.tenants)
+
+    @property
+    def degraded(self) -> int:
+        return sum(entry.degraded for entry in self.tenants)
+
+    @property
+    def failed(self) -> int:
+        return sum(entry.failed for entry in self.tenants)
+
+    @property
+    def epochs(self) -> int:
+        return sum(entry.epochs for entry in self.tenants)
+
+    @property
+    def retrains(self) -> int:
+        return sum(entry.retrains for entry in self.tenants)
+
+    def describe(self) -> str:
+        """A compact multi-line human-readable rendering."""
+        lines = [
+            f"serving status={self.status} tenants={len(self.tenants)} "
+            f"submitted={self.submitted} decided={self.decided} "
+            f"shed={self.shed} degraded={self.degraded}"
+        ]
+        for entry in self.tenants:
+            p50 = "-" if math.isnan(entry.decision_p50) else f"{entry.decision_p50 * 1e3:.2f}ms"
+            p99 = "-" if math.isnan(entry.decision_p99) else f"{entry.decision_p99 * 1e3:.2f}ms"
+            line = (
+                f"  {entry.tenant}: decided={entry.decided}/{entry.submitted} "
+                f"epochs={entry.epochs} retrains={entry.retrains} "
+                f"shed={entry.shed} degraded={entry.degraded} "
+                f"queue={entry.queue_depth} p50={p50} p99={p99}"
+            )
+            if entry.degraded_reason:
+                line += f" [{entry.degraded_reason}]"
+            lines.append(line)
+        return "\n".join(lines)

@@ -5,6 +5,12 @@ This package implements the *workload specification* side of WiSeDB
 query templates, and concrete workloads are batches of template instances.
 """
 
+from repro.workloads.arrivals import (
+    arrival_stream_rng,
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+)
 from repro.workloads.generator import WorkloadGenerator, workload_of
 from repro.workloads.query import Query
 from repro.workloads.scenarios import SpotScenario, spot_revocation_scenario
@@ -30,8 +36,12 @@ __all__ = [
     "TemplateSet",
     "Workload",
     "WorkloadGenerator",
+    "arrival_stream_rng",
+    "bursty_arrivals",
     "chi_squared_confidence",
     "chi_squared_statistic",
+    "diurnal_arrivals",
+    "poisson_arrivals",
     "proportions_to_counts",
     "skewed_proportions",
     "spot_revocation_scenario",

@@ -1,0 +1,181 @@
+"""The incremental :class:`~repro.runtime.online.OnlineSession`.
+
+``OnlineScheduler.run`` is implemented over a session, so the headline
+property — feeding epochs one ``submit`` at a time produces bit-identical
+reports and outcomes to ``run()`` on the equivalent workload — is checked
+directly here (the serving equivalence suite re-checks it through the whole
+async engine).  The rest pins the session contract: epoch validation,
+placement reporting, idempotent finalization, and the fault-plan exclusion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, VMFailure
+from repro.exceptions import SpecificationError
+from repro.runtime.online import OnlineScheduler, OnlineSession
+from repro.workloads.query import Query
+
+
+@pytest.fixture()
+def scheduler(trained_max, model_generator) -> OnlineScheduler:
+    return OnlineScheduler(
+        base_training=trained_max, generator=model_generator, wait_resolution=60.0
+    )
+
+
+@pytest.fixture()
+def arrival_workload(workload_generator):
+    return workload_generator.with_fixed_arrivals(workload_generator.uniform(8), 45.0)
+
+
+def _epochs(scheduler: OnlineScheduler, workload):
+    return list(scheduler._arrival_epochs(workload))
+
+
+class TestRunEquivalence:
+    def test_submit_stream_matches_run(
+        self, scheduler, trained_max, model_generator, arrival_workload
+    ):
+        session = scheduler.session()
+        decisions = [
+            session.submit(epoch) for epoch in _epochs(scheduler, arrival_workload)
+        ]
+        streamed = session.outcome()
+        fresh = OnlineScheduler(
+            base_training=trained_max, generator=model_generator, wait_resolution=60.0
+        )
+        direct = fresh.run(arrival_workload)
+        assert streamed.cost == direct.cost
+        assert streamed.query_outcomes == direct.query_outcomes
+        assert [vm.vm_type.name for vm in streamed.schedule] == [
+            vm.vm_type.name for vm in direct.schedule
+        ]
+        assert [
+            [query.query_id for query in vm.queries] for vm in streamed.schedule
+        ] == [[query.query_id for query in vm.queries] for vm in direct.schedule]
+        assert streamed.overhead.retrains == direct.overhead.retrains
+        assert streamed.overhead.cache_hits == direct.overhead.cache_hits
+        # Every epoch places all of its arrivals (pull-back re-placements of
+        # still-waiting queries ride along), and the union covers the workload.
+        for decision in decisions:
+            placed = {placement.query_id for placement in decision.placements}
+            assert placed >= set(decision.arrivals)
+        all_placed = {
+            placement.query_id
+            for decision in decisions
+            for placement in decision.placements
+        }
+        assert all_placed == {query.query_id for query in arrival_workload}
+
+    def test_same_timestamp_arrivals_are_one_epoch(self, scheduler):
+        session = scheduler.session()
+        queries = [Query("T1", arrival_time=5.0), Query("T2", arrival_time=5.0)]
+        decision = session.submit(queries)
+        assert session.epochs == 1
+        assert decision.arrivals == tuple(
+            sorted(query.query_id for query in queries)
+        )
+        assert len(decision.placements) == 2
+
+
+class TestEpochDecision:
+    def test_placements_reference_real_vms(self, scheduler):
+        session = scheduler.session()
+        decision = session.submit([Query("T3", arrival_time=0.0)])
+        assert decision.new_vms >= 1
+        assert session.num_vms >= decision.new_vms
+        placement = decision.placement_for(decision.arrivals[0])
+        assert 0 <= placement.vm_index < session.num_vms
+        assert placement.completion_time > placement.start_time >= 0.0
+        assert placement.template_name == "T3"
+
+    def test_placement_for_unknown_query_raises(self, scheduler):
+        session = scheduler.session()
+        decision = session.submit([Query("T1", arrival_time=0.0)])
+        with pytest.raises(SpecificationError):
+            decision.placement_for(-1)
+
+    def test_overhead_is_recorded_per_epoch(self, scheduler):
+        session = scheduler.session()
+        first = session.submit([Query("T1", arrival_time=0.0)])
+        second = session.submit([Query("T2", arrival_time=10.0)])
+        assert first.overhead_seconds >= 0.0
+        assert second.overhead_seconds >= 0.0
+        assert len(session.finalize().scheduling_overheads) == 2
+
+
+class TestValidation:
+    def test_empty_epoch_rejected(self, scheduler):
+        with pytest.raises(SpecificationError):
+            scheduler.session().submit([])
+
+    def test_mixed_timestamps_rejected(self, scheduler):
+        session = scheduler.session()
+        with pytest.raises(SpecificationError):
+            session.submit(
+                [Query("T1", arrival_time=1.0), Query("T2", arrival_time=2.0)]
+            )
+
+    def test_time_must_not_decrease(self, scheduler):
+        session = scheduler.session()
+        session.submit([Query("T1", arrival_time=10.0)])
+        with pytest.raises(SpecificationError):
+            session.submit([Query("T2", arrival_time=5.0)])
+
+    def test_equal_times_across_epochs_are_allowed(self, scheduler):
+        # The slow-path reference submits singleton epochs that share
+        # timestamps; the session must accept non-decreasing, not strictly
+        # increasing, epoch times.
+        session = scheduler.session()
+        session.submit([Query("T1", arrival_time=10.0)])
+        session.submit([Query("T2", arrival_time=10.0)])
+        assert session.epochs == 2
+
+    def test_submit_after_finalize_rejected(self, scheduler):
+        session = scheduler.session()
+        session.submit([Query("T1", arrival_time=0.0)])
+        session.finalize()
+        assert session.finalized
+        with pytest.raises(SpecificationError):
+            session.submit([Query("T2", arrival_time=1.0)])
+
+    def test_finalize_is_idempotent(self, scheduler):
+        session = scheduler.session()
+        session.submit([Query("T1", arrival_time=0.0)])
+        assert session.finalize() is session.finalize()
+
+    def test_fault_plans_are_excluded(self, trained_max, model_generator):
+        faulty = OnlineScheduler(
+            base_training=trained_max,
+            generator=model_generator,
+            fault_plan=FaultPlan(events=(VMFailure(at=5.0, vm_index=0),)),
+        )
+        with pytest.raises(SpecificationError):
+            faulty.session()
+
+    def test_empty_fault_plan_still_allows_sessions(
+        self, trained_max, model_generator
+    ):
+        scheduler = OnlineScheduler(
+            base_training=trained_max,
+            generator=model_generator,
+            fault_plan=FaultPlan.empty(),
+        )
+        assert isinstance(scheduler.session(), OnlineSession)
+
+
+class TestCounters:
+    def test_counters_progress_with_waits(self, scheduler, workload_generator):
+        workload = workload_generator.with_fixed_arrivals(
+            workload_generator.uniform(6), 45.0
+        )
+        session = scheduler.session()
+        for epoch in _epochs(scheduler, workload):
+            session.submit(epoch)
+        report = session.finalize()
+        assert session.epochs == 6
+        assert report.retrains == session.retrains
+        assert report.cache_hits == session.cache_hits
+        assert report.num_vms == session.num_vms
