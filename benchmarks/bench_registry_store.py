@@ -1,0 +1,200 @@
+"""Model-registry storage throughput: SQLite-WAL store vs. the JSON layout.
+
+PR 8 moved the registry from one-JSON-file-per-model to a WAL-mode SQLite
+database.  This benchmark quantifies what that buys at the storage layer,
+with synthetic artifacts sized like real trained models (~10 KB blobs):
+
+* ``put``/``get`` throughput through :class:`repro.service.SQLiteStore`;
+* ``find_base``: the indexed point query against the base-fingerprint
+  index vs. the parse-every-file directory scan the JSON layout required
+  (the adaptive-retraining lookup the service runs per goal change);
+* ``run_history`` append rate (one row per scheduling outcome — this is
+  on the ``schedule_batch``/``run_online`` return path, so it must be
+  cheap).
+
+Results merge into ``BENCH_registry_store.json`` for commit-over-commit
+tracking.  Acceptance: the indexed ``find_base`` beats the directory scan,
+and history appends stay under a millisecond each.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.evaluation.harness import format_table
+from repro.service.storage import RunRecord, SQLiteStore
+
+from conftest import merge_bench_json, print_figure
+
+#: Synthetic registry size (artifacts) and blob size (~a tiny trained model).
+NUM_ARTIFACTS = 300
+BLOB_BYTES = 10_000
+#: Distinct base fingerprints (several goals share one base spec).
+NUM_BASES = 60
+HISTORY_ROWS = 1000
+
+
+def _blob(index: int) -> str:
+    filler = "x" * BLOB_BYTES
+    return json.dumps({"index": index, "payload": filler})
+
+
+def _fingerprint(index: int) -> str:
+    return f"{index:064d}"
+
+
+def _base(index: int) -> str:
+    return f"base-{index % NUM_BASES:059d}"
+
+
+def _populate_store(path) -> SQLiteStore:
+    store = SQLiteStore(path)
+    for index in range(NUM_ARTIFACTS):
+        store.put_artifact(
+            _fingerprint(index),
+            _base(index),
+            "fresh",
+            "{}",
+            _blob(index),
+            metadata={"goal_kind": "max"},
+        )
+    return store
+
+
+def _populate_json_dir(directory) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    for index in range(NUM_ARTIFACTS):
+        artifact = {
+            "format": "wisedb-model-artifact",
+            "version": 1,
+            "fingerprint": _fingerprint(index),
+            "base_fingerprint": _base(index),
+            "provenance": "fresh",
+            "spec": {},
+            "training": {"index": index, "payload": "x" * BLOB_BYTES},
+        }
+        (directory / f"{_fingerprint(index)}.json").write_text(json.dumps(artifact))
+
+
+def _scan_json_dir_for_base(directory, base_fingerprint: str) -> list[str]:
+    """The v1 lookup: parse every artifact until the base matches."""
+    matches = []
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("base_fingerprint") == base_fingerprint:
+            matches.append(data["fingerprint"])
+    return matches
+
+
+def _timed(operation, repeats: int) -> float:
+    started = time.perf_counter()
+    for _ in range(repeats):
+        operation()
+    return (time.perf_counter() - started) / repeats
+
+
+def _run(tmp_path):
+    rows = []
+
+    # Writes: N artifact puts (insert + metadata row, one transaction each).
+    started = time.perf_counter()
+    store = _populate_store(tmp_path / "registry.db")
+    put_seconds = time.perf_counter() - started
+    rows.append(
+        {
+            "operation": "sqlite put (artifact+metadata)",
+            "unit": "ops/s",
+            "value": round(NUM_ARTIFACTS / put_seconds, 1),
+        }
+    )
+
+    # Reads: parse-the-blob point lookups.
+    get_seconds = _timed(
+        lambda: store.get_payload(_fingerprint(NUM_ARTIFACTS // 2)), 200
+    )
+    rows.append(
+        {
+            "operation": "sqlite get (blob parsed)",
+            "unit": "ops/s",
+            "value": round(1.0 / get_seconds, 1),
+        }
+    )
+
+    # The adaptive-retraining lookup: indexed query vs. directory scan.
+    base = _base(NUM_ARTIFACTS // 2)
+    indexed_seconds = _timed(lambda: store.find_by_base(base), 50)
+    json_dir = tmp_path / "v1-models"
+    _populate_json_dir(json_dir)
+    scan_seconds = _timed(lambda: _scan_json_dir_for_base(json_dir, base), 5)
+    assert store.find_by_base(base) == tuple(
+        _scan_json_dir_for_base(json_dir, base)
+    )
+    rows.append(
+        {
+            "operation": "find_base indexed (sqlite)",
+            "unit": "ms",
+            "value": round(indexed_seconds * 1e3, 3),
+        }
+    )
+    rows.append(
+        {
+            "operation": "find_base directory scan (v1 json)",
+            "unit": "ms",
+            "value": round(scan_seconds * 1e3, 3),
+        }
+    )
+
+    # History appends sit on the scheduling return path.
+    record = RunRecord(
+        tenant="acme",
+        source="batch",
+        scheduler="WiSeDB-online",
+        goal_kind="max",
+        num_queries=30,
+        num_vms=4,
+        total_cost=12.5,
+        penalty_cost=0.0,
+        wasted_cost=0.5,
+    )
+    history_seconds = _timed(lambda: store.record_run(record), HISTORY_ROWS)
+    rows.append(
+        {
+            "operation": "run_history append",
+            "unit": "ms",
+            "value": round(history_seconds * 1e3, 3),
+        }
+    )
+    store.close()
+    return rows, indexed_seconds, scan_seconds, history_seconds
+
+
+def test_registry_store_throughput(benchmark, tmp_path):
+    rows, indexed_seconds, scan_seconds, history_seconds = benchmark.pedantic(
+        _run, args=(tmp_path,), rounds=1, iterations=1
+    )
+    print_figure(
+        f"Model-registry storage ({NUM_ARTIFACTS} artifacts, "
+        f"{BLOB_BYTES / 1000:.0f} KB blobs)",
+        format_table(rows, ["operation", "unit", "value"]),
+    )
+    merge_bench_json(
+        "registry_store",
+        {
+            "num_artifacts": NUM_ARTIFACTS,
+            "blob_bytes": BLOB_BYTES,
+            "registry_store": rows,
+            "acceptance": {
+                "indexed_over_scan_speedup": round(scan_seconds / indexed_seconds, 1),
+                "history_append_ms": round(history_seconds * 1e3, 3),
+            },
+        },
+    )
+    assert indexed_seconds < scan_seconds, (
+        "the indexed find_base query should beat the v1 directory scan "
+        f"({indexed_seconds * 1e3:.3f}ms vs {scan_seconds * 1e3:.3f}ms)"
+    )
+    assert history_seconds < 1e-3 * 50, (  # generous CI headroom
+        f"run-history appends cost {history_seconds * 1e3:.2f}ms each; "
+        "they sit on the scheduling return path and must stay cheap"
+    )

@@ -76,3 +76,8 @@ class GoalError(WiSeDBError):
 class ConcurrencyError(WiSeDBError):
     """Concurrent mutation of single-writer state (e.g. one tenant's online
     scheduler) was detected and refused before it could interleave silently."""
+
+
+class StorageError(WiSeDBError):
+    """The registry's backing store is unusable (corrupt database file,
+    schema from a newer library version, or a failed history write)."""

@@ -23,10 +23,18 @@ from repro.service.registry import (
     fingerprint_payload,
 )
 from repro.service.service import Tenant, TenantSpec, WiSeDBService
+from repro.service.storage import (
+    RunRecord,
+    SQLiteStore,
+    TenantRunSummary,
+)
 
 __all__ = [
     "ModelRegistry",
+    "RunRecord",
+    "SQLiteStore",
     "Tenant",
+    "TenantRunSummary",
     "TenantSpec",
     "WiSeDBService",
     "canonical_json",

@@ -4,10 +4,11 @@ Trained WiSeDB models used to live and die with the Python process that
 trained them.  The registry makes them addressable artifacts instead: every
 training run is keyed by a **content fingerprint** — a SHA-256 over the
 canonical JSON of the workload specification that produced it (templates, VM
-catalogue, performance goal, training configuration) — and persisted as a
-self-contained JSON document holding the full
+catalogue, performance goal, training configuration) — and persisted in a
+SQLite database (see :mod:`repro.service.storage`) holding the full
 :class:`~repro.learning.trainer.TrainingResult` (decision model, training set,
-sample workloads, optimal costs).
+sample workloads, optimal costs) plus a queryable metadata projection and the
+service's run-history log.
 
 Two fingerprints matter:
 
@@ -17,9 +18,29 @@ Two fingerprints matter:
   the *same specification under a different goal* exists, whose stored sample
   workloads and optimal costs let :class:`~repro.adaptive.retraining.AdaptiveModeler`
   derive the new model far more cheaply than a fresh training run (Section 5).
+  The SQLite backend answers this with an indexed point query; the historical
+  JSON layout needed a directory scan.
 
 ``n_jobs`` never enters a fingerprint: worker counts change wall-clock only,
 and training output is bit-identical for any value.
+
+Two backends share one API:
+
+* ``backend="sqlite"`` (the default) — a WAL-mode database
+  (``registry.db``) safe for concurrent writers across processes.  Legacy
+  ``<fingerprint>.json`` artifacts found next to the database are imported
+  transparently on first access, so pointing a new registry at an old
+  directory just works.
+* ``backend="json"`` — the historical one-file-per-artifact layout, kept as
+  an import/export format: :meth:`WiSeDBService.save` writes it (the saved
+  deployment stays plain files), and :meth:`ModelRegistry.from_json_dir` /
+  :meth:`ModelRegistry.export_json` convert in either direction.
+
+Membership is **consistent with servability**: ``fingerprint in registry``,
+``registry.fingerprints()``, and ``len(registry)`` only count artifacts
+:meth:`ModelRegistry.get` would actually return.  Corrupt artifacts are
+quarantined (a flagged row in SQLite, a moved file in the JSON layout) with a
+warning — never a raise — and drop out of the addressable set.
 """
 
 from __future__ import annotations
@@ -27,19 +48,36 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sqlite3
 import warnings
+from dataclasses import replace
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
-from repro.exceptions import WiSeDBError
+from repro.exceptions import SpecificationError, StorageError, WiSeDBError
 from repro.learning.trainer import TrainingResult
+from repro.service.storage import (
+    DATABASE_NAME,
+    RunRecord,
+    SQLiteStore,
+    TenantRunSummary,
+    filter_records,
+    summarize_records,
+    utc_timestamp,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.scheduler import SchedulingOutcome
 
 #: Format marker written into every registry artifact.
 ARTIFACT_FORMAT = "wisedb-model-artifact"
 
-#: Subdirectory corrupt artifacts are moved into instead of being re-parsed
-#: (and re-failed) on every lookup.
+#: Subdirectory corrupt JSON artifacts are moved into instead of being
+#: re-parsed (and re-failed) on every lookup.
 QUARANTINE_DIR = "quarantine"
+
+#: Registry backends: the SQLite database vs. the legacy JSON directory.
+BACKENDS = ("sqlite", "json")
 
 
 def canonical_json(data) -> str:
@@ -59,13 +97,33 @@ def fingerprint_payload(payload: dict) -> str:
 class ModelRegistry:
     """Stores training results by content fingerprint, optionally on disk.
 
-    Without a directory the registry is a process-local cache (still useful:
-    exact-fingerprint hits deduplicate training across tenants).  With a
-    directory, every ``put`` also writes ``<fingerprint>.json`` and a fresh
-    process can ``get`` or ``find_base`` everything a previous one trained.
+    Without a directory the registry keeps an in-memory SQLite store (still
+    useful: exact-fingerprint hits deduplicate training across tenants, and
+    the run-history log stays queryable).  With a directory, every ``put``
+    lands in ``<directory>/registry.db`` and a fresh process can ``get`` or
+    ``find_base`` everything a previous one trained — including under
+    concurrent writers, which WAL mode and the busy timeout make safe.
+
+    ``backend="json"`` selects the legacy one-file-per-artifact layout
+    instead (used by :meth:`WiSeDBService.save` as the export format);
+    ``db_path`` overrides where the SQLite database lives (``":memory:"``
+    included), which :meth:`from_json_dir` uses to import a JSON directory
+    without writing next to it.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        backend: str = "sqlite",
+        db_path: str | Path | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise SpecificationError(
+                f"unknown registry backend {backend!r}; choose from {BACKENDS}"
+            )
+        if backend == "json" and db_path is not None:
+            raise SpecificationError("db_path only applies to the sqlite backend")
+        self._backend = backend
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
@@ -74,6 +132,17 @@ class ModelRegistry:
         self._bases: dict[str, str] = {}
         #: fingerprint -> how the artifact was trained ("fresh" | "adaptive").
         self._provenance: dict[str, str] = {}
+        #: run-history rows for the storeless JSON backend (process-local).
+        self._memory_history: list[RunRecord] = []
+        self._store: SQLiteStore | None = None
+        if backend == "sqlite":
+            if db_path is None:
+                db_path = (
+                    self._directory / DATABASE_NAME
+                    if self._directory is not None
+                    else ":memory:"
+                )
+            self._store = SQLiteStore(db_path)
 
     # -- accessors ---------------------------------------------------------------
 
@@ -82,23 +151,57 @@ class ModelRegistry:
         """Where artifacts are persisted (``None`` for an in-memory registry)."""
         return self._directory
 
+    @property
+    def backend(self) -> str:
+        """Which backend this registry runs on (``"sqlite"`` or ``"json"``)."""
+        return self._backend
+
+    @property
+    def database_path(self) -> Path | None:
+        """The SQLite file backing this registry (``None`` if in-memory/JSON)."""
+        return self._store.path if self._store is not None else None
+
+    @property
+    def schema_version(self) -> int | None:
+        """The store's migrated schema version (``None`` on the JSON backend)."""
+        return self._store.schema_version if self._store is not None else None
+
+    def close(self) -> None:
+        """Release the backing store's connection (idempotent)."""
+        if self._store is not None:
+            self._store.close()
+
     def fingerprints(self) -> tuple[str, ...]:
-        """Every fingerprint the registry can currently serve, sorted."""
+        """Every fingerprint the registry can currently **serve**, sorted.
+
+        Membership is consistent with servability: a listed fingerprint is
+        one :meth:`get` would return a result for.  Legacy JSON artifacts not
+        yet imported are probed (materialized once, then cached/imported), so
+        corrupt files are quarantined here rather than counted.
+        """
         known = set(self._cache)
+        if self._store is not None:
+            known.update(self._store.fingerprints())
         if self._directory is not None:
-            known.update(path.stem for path in self._directory.glob("*.json"))
+            for path in sorted(self._directory.glob("*.json")):
+                stem = path.stem
+                if stem not in known and self.get(stem) is not None:
+                    known.add(stem)
         return tuple(sorted(known))
 
     def __len__(self) -> int:
         return len(self.fingerprints())
 
     def __contains__(self, fingerprint: object) -> bool:
+        """Whether :meth:`get` would serve *fingerprint* (never a false claim).
+
+        This materializes the artifact on first ask (point query; the result
+        is cached), which is what keeps membership honest for blobs that were
+        corrupted after they were written.
+        """
         if not isinstance(fingerprint, str):
             return False
-        if fingerprint in self._cache:
-            return True
-        path = self._path(fingerprint)
-        return path is not None and path.exists()
+        return self.get(fingerprint) is not None
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.fingerprints())
@@ -110,15 +213,20 @@ class ModelRegistry:
 
         Results are cached per process, so repeated hits return the same
         object without re-reading or re-parsing the artifact.  Corrupt,
-        truncated, or foreign files are treated as misses (the caller then
-        retrains and overwrites them) rather than poisoning every lookup;
-        they are moved into a ``quarantine/`` subdirectory, with a warning,
-        so the damage is preserved for inspection but never re-served.
+        truncated, or foreign artifacts are treated as misses (the caller
+        then retrains and overwrites them) rather than poisoning every
+        lookup: a database row with an unloadable blob is flagged
+        ``quarantined`` (kept for inspection, never re-served), and a legacy
+        JSON file is moved into ``quarantine/`` — both with a warning.
         """
         cached = self._cache.get(fingerprint)
         if cached is not None:
             return cached
-        path = self._path(fingerprint)
+        if self._store is not None:
+            payload = self._store.get_payload(fingerprint)
+            if payload is not None:
+                return self._materialize_row(fingerprint, payload, n_jobs)
+        path = self._legacy_path(fingerprint)
         if path is None:
             return None
         data = self._read_artifact(path)
@@ -134,19 +242,30 @@ class ModelRegistry:
         result: TrainingResult,
         provenance: str = "fresh",
     ) -> Path | None:
-        """Store *result* under *fingerprint*; returns the artifact path if persisted.
+        """Store *result* under *fingerprint*; returns the backing path if persisted.
 
         *spec* is the JSON-serializable specification the fingerprint was
-        computed from; it is embedded in the artifact so a registry directory
-        is self-describing.  *provenance* records how the result was obtained
+        computed from; it is embedded in the artifact so a registry is
+        self-describing.  *provenance* records how the result was obtained
         (``"fresh"`` from-scratch training, ``"adaptive"`` Section-5
         retraining) — adaptive results are cost-optimal-equivalent but not
         guaranteed bit-identical to a fresh run, and callers insisting on
-        fresh semantics filter on it via :meth:`provenance`.
+        fresh semantics filter on it via :meth:`provenance`.  Re-putting a
+        fingerprint heals a quarantined row.
         """
         self._cache[fingerprint] = result
         self._bases[fingerprint] = base_fingerprint
         self._provenance[fingerprint] = provenance
+        if self._store is not None:
+            self._store.put_artifact(
+                fingerprint,
+                base_fingerprint,
+                provenance,
+                json.dumps(spec),
+                json.dumps(result.to_dict()),
+                metadata=self._metadata_projection(result),
+            )
+            return self._store.path
         if self._directory is None:
             return None
         path = self._directory / f"{fingerprint}.json"
@@ -179,8 +298,12 @@ class ModelRegistry:
         """A stored result sharing *base_fingerprint* (same spec, any goal).
 
         Used to seed adaptive retraining when only the goal changed.  Lookup
-        order is deterministic: in-memory artifacts first (sorted by
-        fingerprint), then on-disk artifacts (sorted by filename).
+        order is deterministic: artifacts this process has already seen
+        (``get``/``put``/an earlier scan — sorted by fingerprint), then the
+        store's indexed ``base_fingerprint`` query (sorted by fingerprint),
+        then any legacy JSON artifacts not yet imported (sorted by
+        filename).  The indexed query is what replaces the JSON layout's
+        full-directory scan.
         """
         excluded = set(exclude)
         for fingerprint in sorted(self._bases):
@@ -190,10 +313,19 @@ class ModelRegistry:
                 result = self.get(fingerprint, n_jobs=n_jobs)
                 if result is not None:
                     return result
+        if self._store is not None:
+            for fingerprint in self._store.find_by_base(base_fingerprint):
+                if fingerprint in excluded or fingerprint in self._bases:
+                    continue
+                result = self.get(fingerprint, n_jobs=n_jobs)
+                if result is not None:
+                    return result
         if self._directory is not None:
             for path in sorted(self._directory.glob("*.json")):
                 fingerprint = path.stem
                 if fingerprint in excluded or fingerprint in self._bases:
+                    continue
+                if self._store is not None and self._store.contains(fingerprint):
                     continue
                 # The scan JSON-parses each artifact (once per process — the
                 # _bases memo skips it afterwards) but only reads its header:
@@ -209,15 +341,263 @@ class ModelRegistry:
                         return result
         return None
 
+    # -- metadata and quarantine ---------------------------------------------------
+
+    def model_metadata(self, fingerprint: str) -> dict | None:
+        """The queryable metadata projection of a stored artifact, or ``None``.
+
+        Answered straight from the ``model_metadata`` table — strategy,
+        bound, worst optimality ratio, tree shape — without materializing
+        the model blob.  Requires the SQLite backend.
+        """
+        if self._store is None:
+            return None
+        return self._store.model_metadata(fingerprint)
+
+    def quarantined(self) -> tuple[tuple[str, str | None], ...]:
+        """Quarantined database rows as ``(fingerprint, reason)`` pairs.
+
+        Legacy JSON quarantine (moved files under ``quarantine/``) is not
+        listed here — those artifacts are out of the store entirely.
+        """
+        if self._store is None:
+            return ()
+        return self._store.quarantined()
+
+    def provenance(self, fingerprint: str) -> str | None:
+        """How a stored artifact was trained ("fresh"/"adaptive"), if known.
+
+        Answered from the process cache or, on the SQLite backend, straight
+        from the ``artifacts`` table without materializing the blob.
+        """
+        known = self._provenance.get(fingerprint)
+        if known is not None:
+            return known
+        if self._store is not None:
+            return self._store.provenance(fingerprint)
+        return None
+
+    # -- run history ----------------------------------------------------------------
+
+    def record_outcome(
+        self, tenant: str, outcome: "SchedulingOutcome", source: str
+    ) -> RunRecord:
+        """Append one scheduling outcome to the run-history log.
+
+        *source* names the code path that produced it (``"batch"``,
+        ``"online"``, ``"serving"``).  On the SQLite backend the row is
+        durable and queryable across processes; the JSON backend keeps a
+        process-local log so the API surface stays uniform.
+        """
+        overhead = outcome.overhead
+        try:
+            violation = float(outcome.violation_period())
+        except WiSeDBError:
+            violation = 0.0
+        record = RunRecord(
+            tenant=tenant,
+            source=source,
+            scheduler=outcome.scheduler,
+            goal_kind=outcome.goal.kind,
+            num_queries=outcome.num_queries(),
+            num_vms=outcome.num_vms(),
+            total_cost=outcome.cost.total,
+            penalty_cost=outcome.cost.penalty_cost,
+            wasted_cost=outcome.cost.wasted_cost,
+            degraded=outcome.degraded,
+            degraded_reason=outcome.degraded_reason,
+            violation_seconds=violation,
+            wall_time_seconds=overhead.wall_time_seconds,
+            decisions=overhead.decisions,
+            retrains=overhead.retrains,
+            cache_hits=overhead.cache_hits,
+            fallbacks=overhead.fallbacks,
+            retries=overhead.retries,
+            vm_failures=overhead.vm_failures,
+            requeues=overhead.requeues,
+        )
+        if self._store is not None:
+            try:
+                return self._store.record_run(record)
+            except sqlite3.Error as error:
+                raise StorageError(f"run-history write failed: {error}") from error
+        record = replace(
+            record,
+            recorded_at=utc_timestamp(),
+            row_id=len(self._memory_history) + 1,
+        )
+        self._memory_history.append(record)
+        return record
+
+    def history(
+        self,
+        tenant: str | None = None,
+        goal_kind: str | None = None,
+        source: str | None = None,
+        limit: int | None = None,
+    ) -> tuple[RunRecord, ...]:
+        """Recorded scheduling outcomes, oldest first.
+
+        Filter by *tenant*, *goal_kind* (``"max"``/``"percentile"``/...), or
+        *source* (``"batch"``/``"online"``/``"serving"``); ``limit`` keeps
+        only the most recent N matching rows.
+        """
+        if self._store is not None:
+            try:
+                return self._store.history(
+                    tenant=tenant, goal_kind=goal_kind, source=source, limit=limit
+                )
+            except sqlite3.Error as error:
+                raise StorageError(f"run-history query failed: {error}") from error
+        return filter_records(
+            tuple(self._memory_history),
+            tenant=tenant,
+            goal_kind=goal_kind,
+            source=source,
+            limit=limit,
+        )
+
+    def tenant_summaries(self) -> dict[str, TenantRunSummary]:
+        """Per-tenant cost and SLA-compliance aggregates over all history."""
+        if self._store is not None:
+            return self._store.tenant_summaries()
+        return summarize_records(tuple(self._memory_history))
+
+    # -- JSON import/export ----------------------------------------------------------
+
+    def export_json(self, directory: str | Path) -> tuple[Path, ...]:
+        """Write every servable artifact to *directory* in the JSON layout.
+
+        The output is byte-compatible with what the historical JSON backend
+        produced, so an exported directory round-trips through
+        :meth:`from_json_dir` (or an old library version) unchanged.
+        """
+        if self._store is None:
+            raise SpecificationError("export_json requires the sqlite backend")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        exported = []
+        for fingerprint in self.fingerprints():
+            raw = self._store.raw_artifact(fingerprint)
+            if raw is None:
+                continue
+            artifact = {
+                "format": ARTIFACT_FORMAT,
+                "version": 1,
+                "fingerprint": fingerprint,
+                "base_fingerprint": raw["base_fingerprint"],
+                "provenance": raw["provenance"],
+                "spec": json.loads(raw["spec"]),
+                "training": json.loads(raw["training"]),
+            }
+            path = directory / f"{fingerprint}.json"
+            staging = path.with_name(f".{fingerprint}.{os.getpid()}.tmp")
+            staging.write_text(json.dumps(artifact), encoding="utf-8")
+            os.replace(staging, path)
+            exported.append(path)
+        return tuple(exported)
+
+    def import_json_dir(self, directory: str | Path | None = None) -> int:
+        """Eagerly import legacy JSON artifacts into the SQLite store.
+
+        Headers are validated and rows inserted without materializing the
+        training payloads (that stays lazy, at :meth:`get` time); unusable
+        files are quarantined with a warning.  Returns how many artifacts
+        were imported.  With no *directory*, the registry's own directory is
+        scanned — the same files :meth:`get` would import lazily.
+        """
+        if self._store is None:
+            raise SpecificationError("import_json_dir requires the sqlite backend")
+        source = Path(directory) if directory is not None else self._directory
+        if source is None:
+            raise SpecificationError("no directory to import JSON artifacts from")
+        imported = 0
+        for path in sorted(source.glob("*.json")):
+            fingerprint = path.stem
+            if self._store.contains(fingerprint):
+                continue
+            data = self._read_artifact(path)
+            if data is None:
+                continue
+            self._import_artifact(fingerprint, data)
+            imported += 1
+        return imported
+
+    @classmethod
+    def from_json_dir(
+        cls, directory: str | Path, db_path: str | Path | None = None
+    ) -> "ModelRegistry":
+        """A SQLite-backed registry imported from a legacy JSON directory.
+
+        By default the database lives in memory, so the source directory is
+        only read (corrupt files are still quarantined, with a warning);
+        pass ``db_path`` to materialize a durable database instead — the
+        one-shot migration path from the v1 layout.
+        """
+        registry = cls(directory, db_path=db_path if db_path is not None else ":memory:")
+        registry.import_json_dir()
+        return registry
+
     # -- internals -----------------------------------------------------------------
 
-    def _path(self, fingerprint: str) -> Path | None:
+    def _legacy_path(self, fingerprint: str) -> Path | None:
+        """The would-be JSON artifact path, or ``None`` when inapplicable."""
         if self._directory is None:
             return None
-        return self._directory / f"{fingerprint}.json"
+        path = self._directory / f"{fingerprint}.json"
+        return path if path.exists() else None
+
+    def _metadata_projection(self, result: TrainingResult) -> dict:
+        """The queryable ``model_metadata`` row for a training result."""
+        meta = result.model.metadata
+        return {
+            "goal_kind": meta.goal_kind,
+            "search_strategy": meta.search_strategy,
+            "future_bound": meta.future_bound,
+            "worst_optimality_ratio": result.worst_optimality_ratio,
+            "tree_depth": meta.tree_depth,
+            "tree_leaves": meta.tree_leaves,
+            "num_training_samples": meta.num_training_samples,
+            "num_training_examples": meta.num_training_examples,
+            "training_time_seconds": meta.training_time_seconds,
+        }
+
+    @staticmethod
+    def _metadata_from_artifact(data: dict) -> dict | None:
+        """The metadata row extractable from a raw artifact dict (no blobs)."""
+        model = data.get("training", {}).get("model", {})
+        meta = model.get("metadata")
+        if not isinstance(meta, dict):
+            return None
+        extra = meta.get("extra") or {}
+        return {
+            "goal_kind": meta.get("goal_kind"),
+            "search_strategy": meta.get("search_strategy"),
+            "future_bound": meta.get("future_bound"),
+            "worst_optimality_ratio": extra.get("worst_optimality_ratio"),
+            "tree_depth": meta.get("tree_depth"),
+            "tree_leaves": meta.get("tree_leaves"),
+            "num_training_samples": meta.get("num_training_samples"),
+            "num_training_examples": meta.get("num_training_examples"),
+            "training_time_seconds": meta.get("training_time_seconds"),
+        }
+
+    def _import_artifact(self, fingerprint: str, data: dict) -> None:
+        """Insert a parsed legacy artifact into the store (header only)."""
+        assert self._store is not None
+        self._store.put_artifact(
+            fingerprint,
+            data["base_fingerprint"],
+            data.get("provenance", "fresh"),
+            json.dumps(data.get("spec", {})),
+            json.dumps(data["training"]),
+            metadata=self._metadata_from_artifact(data),
+        )
+        self._bases[fingerprint] = data["base_fingerprint"]
+        self._provenance[fingerprint] = data.get("provenance", "fresh")
 
     def _read_artifact(self, path: Path) -> dict | None:
-        """Parse an artifact file, returning ``None`` for anything unusable.
+        """Parse a JSON artifact file, returning ``None`` for anything unusable.
 
         Unusable files (truncated writes, hand-edited JSON, foreign formats)
         are quarantined so later lookups do not re-parse — and re-fail on —
@@ -230,36 +610,64 @@ class ModelRegistry:
         try:
             data = json.loads(text)
         except json.JSONDecodeError:
-            self._quarantine(path, "is not valid JSON (truncated write?)")
+            self._quarantine_file(path, "is not valid JSON (truncated write?)")
             return None
         if not isinstance(data, dict) or data.get("format") != ARTIFACT_FORMAT:
-            self._quarantine(path, "is not a WiSeDB model artifact")
+            self._quarantine_file(path, "is not a WiSeDB model artifact")
             return None
         if "training" not in data or "base_fingerprint" not in data:
-            self._quarantine(path, "is missing required artifact fields")
+            self._quarantine_file(path, "is missing required artifact fields")
             return None
         return data
+
+    def _materialize_row(
+        self, fingerprint: str, payload: dict, n_jobs: int
+    ) -> TrainingResult | None:
+        """Turn a store row into a cached training result (None = quarantined)."""
+        try:
+            if not isinstance(payload["training"], dict):
+                raise ValueError("artifact blob is not a JSON object")
+            result = TrainingResult.from_dict(payload["training"], n_jobs=n_jobs)
+        except (KeyError, TypeError, ValueError, WiSeDBError):
+            reason = "holds an unloadable training payload"
+            assert self._store is not None
+            self._store.quarantine(fingerprint, reason)
+            warnings.warn(
+                f"model artifact {fingerprint[:12]}… {reason}; its database row "
+                "was quarantined and it is treated as a registry miss",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            return None
+        self._cache[fingerprint] = result
+        self._bases[fingerprint] = payload["base_fingerprint"]
+        self._provenance[fingerprint] = payload.get("provenance", "fresh")
+        return result
 
     def _materialize(
         self, fingerprint: str, data: dict, n_jobs: int, path: Path | None = None
     ) -> TrainingResult | None:
-        """Turn a parsed artifact into a cached training result (None = corrupt)."""
+        """Turn a parsed JSON artifact into a cached training result."""
         try:
             result = TrainingResult.from_dict(data["training"], n_jobs=n_jobs)
         except (KeyError, TypeError, ValueError, WiSeDBError):
             if path is not None:
-                self._quarantine(path, "holds an unloadable training payload")
+                self._quarantine_file(path, "holds an unloadable training payload")
             return None
         self._cache[fingerprint] = result
         self._bases[fingerprint] = data["base_fingerprint"]
         self._provenance[fingerprint] = data.get("provenance", "fresh")
+        if self._store is not None and not self._store.contains(fingerprint):
+            # A legacy artifact just served for the first time: import it so
+            # the next process (or a concurrent one) finds it indexed.
+            self._import_artifact(fingerprint, data)
         return result
 
-    def _quarantine(self, path: Path, reason: str) -> None:
-        """Move a corrupt artifact aside (best-effort) and warn about it."""
-        if self._directory is None or not path.exists():
+    def _quarantine_file(self, path: Path, reason: str) -> None:
+        """Move a corrupt JSON artifact aside (best-effort) and warn about it."""
+        if not path.exists():
             return
-        target_dir = self._directory / QUARANTINE_DIR
+        target_dir = path.parent / QUARANTINE_DIR
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
             target = target_dir / path.name
@@ -275,13 +683,5 @@ class ModelRegistry:
             f"model artifact {path.name} {reason}; moved to "
             f"{target_dir / target.name} and treated as a registry miss",
             RuntimeWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
-
-    def provenance(self, fingerprint: str) -> str | None:
-        """How a stored artifact was trained ("fresh"/"adaptive"), if known.
-
-        Only answered for artifacts this process has seen (``get``/``put``/
-        a ``find_base`` scan); returns ``None`` otherwise.
-        """
-        return self._provenance.get(fingerprint)

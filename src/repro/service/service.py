@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -59,6 +60,7 @@ from repro.core.scheduler import SchedulingOutcome
 from repro.exceptions import (
     ConcurrencyError,
     SpecificationError,
+    StorageError,
     TrainingError,
     WiSeDBError,
 )
@@ -70,6 +72,7 @@ from repro.runtime.batch import BatchScheduler
 from repro.runtime.online import OnlineOptimizations, OnlineScheduler
 from repro.search.bounds import create_future_bound
 from repro.service.registry import ModelRegistry, fingerprint_payload
+from repro.service.storage import RunRecord, TenantRunSummary
 from repro.sla.base import PerformanceGoal
 from repro.sla.factory import goal_from_dict
 from repro.workloads.templates import TemplateSet
@@ -597,11 +600,13 @@ class WiSeDBService:
         # failure, and must never be papered over by the FFD heuristic.
         with tenant.exclusive("schedule_batch"):
             try:
-                return self.batch_scheduler(name).run(workload)
+                outcome = self.batch_scheduler(name).run(workload)
             except WiSeDBError as error:
                 if not self._degraded_fallback:
                     raise
-                return self._degraded_outcome(tenant, workload, error)
+                outcome = self._degraded_outcome(tenant, workload, error)
+        self._record_history(name, outcome, "batch")
+        return outcome
 
     def run_online(
         self,
@@ -623,7 +628,7 @@ class WiSeDBService:
         tenant = self.tenant(name)
         with tenant.exclusive("run_online"):
             try:
-                return self.online_scheduler(
+                outcome = self.online_scheduler(
                     name,
                     optimizations=optimizations,
                     wait_resolution=wait_resolution,
@@ -632,7 +637,46 @@ class WiSeDBService:
             except WiSeDBError as error:
                 if not self._degraded_fallback:
                     raise
-                return self._degraded_outcome(tenant, workload, error)
+                outcome = self._degraded_outcome(tenant, workload, error)
+        self._record_history(name, outcome, "online")
+        return outcome
+
+    def _record_history(
+        self, tenant_name: str, outcome: SchedulingOutcome, source: str
+    ) -> None:
+        """Log *outcome* to the registry's run history (never breaks scheduling)."""
+        try:
+            self._registry.record_outcome(tenant_name, outcome, source)
+        except StorageError as error:
+            warnings.warn(
+                f"run-history write for tenant {tenant_name!r} failed ({error}); "
+                "the scheduling outcome is returned but was not recorded",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def history(
+        self,
+        tenant: str | None = None,
+        goal_kind: str | None = None,
+        source: str | None = None,
+        limit: int | None = None,
+    ) -> tuple[RunRecord, ...]:
+        """Recorded scheduling outcomes, oldest first (see the registry log).
+
+        Every :meth:`schedule_batch` and :meth:`run_online` call appends one
+        row — tenant, goal kind, cost breakdown, degraded flag, overhead
+        counters — so per-tenant cost and SLA compliance are queryable over
+        time.  Filter by *tenant*, *goal_kind*, or *source* (``"batch"`` /
+        ``"online"`` / ``"serving"``); ``limit`` keeps the most recent N.
+        """
+        return self._registry.history(
+            tenant=tenant, goal_kind=goal_kind, source=source, limit=limit
+        )
+
+    def run_summaries(self) -> dict[str, TenantRunSummary]:
+        """Per-tenant aggregates (runs, mean cost, SLA compliance) over all history."""
+        return self._registry.tenant_summaries()
 
     def _degraded_outcome(
         self, tenant: Tenant, workload: Workload, error: WiSeDBError
@@ -665,13 +709,16 @@ class WiSeDBService:
         """Persist the service — tenant specs and trained models — to *directory*.
 
         Layout: ``tenants.json`` (the manifest) plus a model registry under
-        ``models/``.  Untrained tenants are saved spec-only.  The directory is
+        ``models/`` in the portable JSON artifact layout (one file per model
+        — no database, so the saved deployment stays plain, diffable files;
+        :meth:`load` imports them into its SQLite registry transparently).
+        Untrained tenants are saved spec-only.  The directory is
         self-contained: :meth:`load` restores an equivalent service whose
         tenants schedule bit-identically.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        disk = ModelRegistry(directory / "models")
+        disk = ModelRegistry(directory / "models", backend="json")
         manifest = []
         for tenant in self._tenants.values():
             spec = tenant.spec

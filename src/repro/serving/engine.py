@@ -139,6 +139,7 @@ class _TenantLane:
         "failure",
         "worker",
         "guard",
+        "outcome",
     )
 
     def __init__(
@@ -169,6 +170,8 @@ class _TenantLane:
         self.failure: WiSeDBError | None = None
         self.worker: asyncio.Task | None = None
         self.guard = guard
+        #: The priced outcome, computed once at close and reused afterwards.
+        self.outcome: SchedulingOutcome | None = None
 
     @property
     def in_flight(self) -> int:
@@ -465,6 +468,30 @@ class ServingEngine:
             await asyncio.gather(*workers)
         for lane in self._lanes.values():
             lane.guard.close()
+        self._log_outcomes()
+
+    def _log_outcomes(self) -> None:
+        """Price each completed lane once and log it to the run history.
+
+        Failed lanes, never-admitted lanes, and lanes that ran entirely
+        degraded (no learned session) have no priceable outcome and are
+        skipped; everything else lands in the registry's ``run_history``
+        under ``source="serving"``, next to the service's batch/online rows.
+        """
+        for lane in self._lanes.values():
+            if lane.failure is not None or lane.session is None or lane.admitted == 0:
+                continue
+            try:
+                outcome = lane.session.outcome()
+            except WiSeDBError:
+                # Close must succeed even if a lane cannot be priced.
+                continue
+            if lane.degraded_reason is not None:
+                outcome = replace(
+                    outcome, degraded=True, degraded_reason=lane.degraded_reason
+                )
+            lane.outcome = outcome
+            self._service._record_history(lane.name, outcome, "serving")
 
     @property
     def closed(self) -> bool:
@@ -536,9 +563,12 @@ class ServingEngine:
                 f"tenant {tenant!r} was served entirely degraded "
                 f"({lane.degraded_reason}); no learned outcome exists"
             )
+        if lane.outcome is not None:
+            return lane.outcome
         outcome = lane.session.outcome()
         if lane.degraded_reason is not None:
             outcome = replace(
                 outcome, degraded=True, degraded_reason=lane.degraded_reason
             )
+        lane.outcome = outcome
         return outcome

@@ -46,11 +46,14 @@ class LoadReport:
     submitted: int
     #: Queries refused by the shed backpressure policy during the drive.
     shed: int
-    #: Arrivals submitted behind their scheduled time (the engine, not the
-    #: driver, was the bottleneck).
+    #: Arrivals submitted behind their scheduled time — every member of a
+    #: same-timestamp group whose due time had already passed when the group
+    #: came up, not one tick per group (the engine, not the driver, was the
+    #: bottleneck).
     late: int
     #: Offered rate implied by the replayed schedule (arrivals/sec), or
-    #: ``None`` for a firehose drive (no pacing at all).
+    #: ``None`` for a firehose drive: no ``target_rate``, or a schedule whose
+    #: arrivals share one timestamp (zero span — nothing to pace against).
     offered_rate: float | None
     #: Wall-clock seconds spent submitting (the open-loop phase).
     submit_seconds: float
@@ -97,13 +100,22 @@ async def drive(
     offered_rate: float | None = None
     scale = 0.0
     if arrivals and target_rate is not None:
-        offered_rate = target_rate
         span = arrivals[-1][0] - arrivals[0][0]
         if span > 0:
+            # Only a schedule with an actual span can be paced; single-
+            # timestamp schedules run firehose and must report it as such.
             scale = (len(arrivals) / span) / target_rate
+            offered_rate = target_rate
     shed = late = since_yield = 0
     first_time = arrivals[0][0] if arrivals else 0.0
     previous_time = first_time
+    # Whether the group currently being submitted came up past its due time.
+    # Lateness is decided once per group, at the pacing boundary, and then
+    # charged to every member: a raw per-arrival clock check would flag
+    # punctual groups too (asyncio.sleep wakes microseconds after the due
+    # time).  The first group's due time is the drive start itself, so it is
+    # punctual by construction.
+    behind = False
     started = time.perf_counter()
     for arrival_time, tenant, query in arrivals:
         if arrival_time > previous_time:
@@ -113,13 +125,16 @@ async def drive(
                 due = started + (arrival_time - first_time) * scale
                 delay = due - time.perf_counter()
                 if delay > 0:
+                    behind = False
                     await asyncio.sleep(delay)
                 else:
-                    late += 1
+                    behind = True
             elif since_yield >= yield_every:
                 since_yield = 0
                 await asyncio.sleep(0)
             previous_time = arrival_time
+        if behind:
+            late += 1
         admission = await engine.submit(tenant, query)
         since_yield += 1
         if not admission.admitted:

@@ -1,16 +1,18 @@
 """Crash-safety of the model registry and the service's degraded mode.
 
 The registry must never serve — or keep re-parsing — a corrupt artifact:
-writes are atomic (temp file + ``os.replace``), and unusable files are moved
-into ``quarantine/`` with a warning instead of raising or being silently
-retried forever.  The service layer, in turn, must stay available when a
-tenant's learned path fails: scheduling falls back to the FFD heuristic and
-the outcome says so (``degraded`` + reason).
+SQLite rows with unloadable blobs are flagged ``quarantined`` and JSON files
+are moved into ``quarantine/`` — both with a warning instead of raising or
+being silently retried forever — and membership stays consistent with
+servability on both backends.  The service layer, in turn, must stay
+available when a tenant's learned path fails: scheduling falls back to the
+FFD heuristic and the outcome says so (``degraded`` + reason).
 """
 
 from __future__ import annotations
 
 import json
+import sqlite3
 
 import pytest
 
@@ -31,8 +33,10 @@ def goal(small_templates):
     return MaxLatencyGoal.from_factor(small_templates, factor=2.5)
 
 
-def _train_once(directory, small_templates, goal, config, name="acme"):
-    service = WiSeDBService(registry=directory)
+def _train_once(
+    directory, small_templates, goal, config, name="acme", backend="sqlite"
+):
+    service = WiSeDBService(registry=ModelRegistry(directory, backend=backend))
     service.register(name, small_templates, goal, config=config)
     service.train(name)
     return service
@@ -44,11 +48,24 @@ def _train_once(directory, small_templates, goal, config, name="acme"):
 
 
 class TestAtomicPut:
-    def test_put_leaves_no_staging_files(
+    def test_sqlite_put_is_durable_and_file_free(
         self, tmp_path, small_templates, goal, config
     ):
         directory = tmp_path / "registry"
-        _train_once(directory, small_templates, goal, config)
+        service = _train_once(directory, small_templates, goal, config)
+        # No staging files and no per-model JSON — the database is the store.
+        leftovers = [p.name for p in directory.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert list(directory.glob("*.json")) == []
+        assert (directory / "registry.db").exists()
+        fingerprint = service.tenant("acme").spec.fingerprint()
+        assert ModelRegistry(directory).get(fingerprint, n_jobs=1) is not None
+
+    def test_json_put_leaves_no_staging_files(
+        self, tmp_path, small_templates, goal, config
+    ):
+        directory = tmp_path / "registry"
+        _train_once(directory, small_templates, goal, config, backend="json")
         leftovers = [p.name for p in directory.iterdir() if p.suffix == ".tmp"]
         assert leftovers == []
         artifacts = list(directory.glob("*.json"))
@@ -129,7 +146,11 @@ class TestQuarantine:
         self, tmp_path, small_templates, goal, config
     ):
         directory = tmp_path / "registry"
-        service = _train_once(directory, small_templates, goal, config)
+        # Train through the JSON layout so a fresh SQLite registry has to
+        # import via the legacy directory scan.
+        service = _train_once(
+            directory, small_templates, goal, config, backend="json"
+        )
         # "!" sorts before any hex fingerprint, so the scan hits the junk
         # file before it can return the healthy artifact.
         (directory / "!junk.json").write_text("{{{{")
@@ -144,7 +165,9 @@ class TestQuarantine:
     ):
         """End to end: corrupt the only artifact, a new service retrains."""
         directory = tmp_path / "registry"
-        service = _train_once(directory, small_templates, goal, config)
+        service = _train_once(
+            directory, small_templates, goal, config, backend="json"
+        )
         artifact = next(directory.glob("*.json"))
         artifact.write_text(artifact.read_text(encoding="utf-8")[:100])
 
@@ -156,6 +179,82 @@ class TestQuarantine:
         # The healthy rewrite is addressable again; the damage is preserved.
         assert service.tenant("acme").spec.fingerprint() in fresh.registry
         assert list((directory / QUARANTINE_DIR).iterdir())
+
+    def test_corrupted_database_blob_triggers_fresh_retrain(
+        self, tmp_path, small_templates, goal, config
+    ):
+        """Corrupt the blob inside the database: quarantined row, retrain."""
+        directory = tmp_path / "registry"
+        service = _train_once(directory, small_templates, goal, config)
+        fingerprint = service.tenant("acme").spec.fingerprint()
+        with sqlite3.connect(directory / "registry.db") as connection:
+            connection.execute(
+                "UPDATE artifacts SET training = '{\"not\": \"a result\"}'"
+            )
+
+        fresh = WiSeDBService(registry=directory)
+        fresh.register("acme", small_templates, goal, config=config)
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            fresh.train("acme")
+        assert fresh.tenant("acme").provenance == "fresh"
+        # The re-put healed the quarantined row in place.
+        assert fingerprint in fresh.registry
+        assert fresh.registry.quarantined() == ()
+
+
+# ---------------------------------------------------------------------------
+# Membership == servability (both backends)
+# ---------------------------------------------------------------------------
+
+
+class TestMembershipConsistency:
+    """``in`` / ``fingerprints()`` / ``len()`` never count unservable artifacts."""
+
+    def test_sqlite_contains_after_blob_corruption(
+        self, tmp_path, small_templates, goal, config
+    ):
+        directory = tmp_path / "registry"
+        service = _train_once(directory, small_templates, goal, config)
+        fingerprint = service.tenant("acme").spec.fingerprint()
+        with sqlite3.connect(directory / "registry.db") as connection:
+            connection.execute("UPDATE artifacts SET training = 'garbage'")
+
+        fresh = ModelRegistry(directory)
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            assert fingerprint not in fresh
+        assert fresh.fingerprints() == ()
+        assert len(fresh) == 0
+        assert fresh.quarantined() == (
+            (fingerprint, "holds an unloadable training payload"),
+        )
+
+    def test_json_contains_after_file_corruption(
+        self, tmp_path, small_templates, goal, config
+    ):
+        directory = tmp_path / "registry"
+        service = _train_once(
+            directory, small_templates, goal, config, backend="json"
+        )
+        fingerprint = service.tenant("acme").spec.fingerprint()
+        artifact = next(directory.glob("*.json"))
+        artifact.write_text(artifact.read_text(encoding="utf-8")[:100])
+
+        fresh = ModelRegistry(directory, backend="json")
+        with pytest.warns(RuntimeWarning, match="quarantine"):
+            assert fingerprint not in fresh
+        assert fresh.fingerprints() == ()
+        assert len(fresh) == 0
+
+    def test_served_artifacts_stay_addressable(
+        self, tmp_path, small_templates, goal, config
+    ):
+        directory = tmp_path / "registry"
+        service = _train_once(directory, small_templates, goal, config)
+        fingerprint = service.tenant("acme").spec.fingerprint()
+        fresh = ModelRegistry(directory)
+        assert fingerprint in fresh
+        assert fresh.fingerprints() == (fingerprint,)
+        assert len(fresh) == 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Edge cases of the serving metrics: percentiles and the latency window."""
+
+from __future__ import annotations
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serving.engine import _LATENCY_WINDOW, ServingEngine
+from repro.serving.metrics import percentile
+
+
+class TestPercentile:
+    def test_empty_values_are_nan(self):
+        assert math.isnan(percentile([], 0.5))
+
+    def test_fraction_zero_is_the_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0.0) == 1.0
+
+    def test_fraction_one_is_the_maximum(self):
+        assert percentile([3.0, 1.0, 2.0], 1.0) == 3.0
+
+    def test_single_element_for_any_fraction(self):
+        for fraction in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert percentile([7.0], fraction) == 7.0
+
+    def test_nearest_rank_interior(self):
+        values = [float(v) for v in range(1, 11)]  # 1..10
+        assert percentile(values, 0.5) == 5.0  # ceil(0.5 * 10) = rank 5
+        assert percentile(values, 0.91) == 10.0  # ceil(9.1) = rank 10
+
+    def test_out_of_range_fraction_is_rejected(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            percentile([1.0], 1.5)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            percentile([1.0], -0.1)
+
+
+class TestLatencyWindow:
+    """``ServingEngine._record`` halves a full window before appending."""
+
+    @staticmethod
+    def _group(size: int, submitted_at: float = 0.0):
+        return [(None, submitted_at, None) for _ in range(size)]
+
+    def test_below_window_nothing_is_dropped(self):
+        lane = SimpleNamespace(latencies=[0.0] * (_LATENCY_WINDOW - 1))
+        ServingEngine._record(lane, self._group(3), decided_at=1.0)
+        assert len(lane.latencies) == _LATENCY_WINDOW + 2
+
+    def test_full_window_drops_the_oldest_half(self):
+        lane = SimpleNamespace(latencies=[float(i) for i in range(_LATENCY_WINDOW)])
+        ServingEngine._record(lane, self._group(2), decided_at=5.0)
+        # The oldest half is gone; the survivors start at the midpoint value.
+        assert len(lane.latencies) == _LATENCY_WINDOW // 2 + 2
+        assert lane.latencies[0] == float(_LATENCY_WINDOW // 2)
+        # The new group's latencies landed at the end (decided - submitted).
+        assert lane.latencies[-2:] == [5.0, 5.0]
+
+    def test_percentiles_reflect_the_recent_window(self):
+        lane = SimpleNamespace(latencies=[100.0] * _LATENCY_WINDOW)
+        ServingEngine._record(
+            lane, self._group(_LATENCY_WINDOW // 2), decided_at=1.0
+        )
+        # Half olds were dropped, half news appended: the median is now fast.
+        assert percentile(lane.latencies, 0.5) == 1.0
