@@ -19,6 +19,20 @@ shared ``environments`` fixture) with seeded arrival processes from
 * ``degraded``   — a tenant whose learned path is broken end-to-end: every
   decision served by the FFD fallback and stamped.
 
+Two further series cover the sharded engine (PR 9):
+
+* ``shards``       — the same four-tenant epoch-batched load through
+  :class:`~repro.serving.ShardedServingEngine` at increasing shard counts.
+  On this 1-core container every cross-process submission is a pipe round
+  trip with no parallel core to pay for it, so the series documents the
+  per-query routing overhead honestly; the scaling payoff is per-shard
+  parallelism on multi-core hosts (outcomes are bit-identical either way —
+  the equivalence suite pins that).
+* ``model_memory`` — heap cost of N replicated evaluators versus N
+  shared-memory attachments of one published segment, measured with
+  ``tracemalloc`` (which sees numpy heap buffers but not ``mmap``-ed
+  segments — exactly the distinction zero-copy shipping exploits).
+
 Results merge into ``BENCH_serving.json`` for commit-over-commit tracking.
 """
 
@@ -26,9 +40,14 @@ from __future__ import annotations
 
 import asyncio
 import math
+import tracemalloc
 
+import numpy as np
+
+from repro.learning import shm
+from repro.learning.decision_tree import CompiledTreeEvaluator
 from repro.service import WiSeDBService
-from repro.serving import ServingEngine, TenantStream, drive
+from repro.serving import ServingEngine, ShardedServingEngine, TenantStream, drive
 from repro.evaluation.harness import format_table
 from repro.exceptions import TrainingError
 from repro.sla.factory import GOAL_KINDS
@@ -44,6 +63,10 @@ PACED_QUERIES = 600
 PACED_RATE = 1500.0
 OVERLOAD_QUERIES = 2000
 DEGRADED_QUERIES = 300
+SHARD_COUNTS = (1, 2)
+SHARD_QUERIES = 300
+MEMORY_REPLICAS = 32
+MEMORY_NODES = 100_001
 
 
 def _service_for(environments):
@@ -99,6 +122,128 @@ def _drive(service, streams, target_rate=None, yield_every=64, **engine_kwargs):
         return report, snapshot
 
     return asyncio.run(main())
+
+
+def _drive_sharded(service, streams, shards):
+    async def main():
+        engine = ShardedServingEngine(
+            service, shards=shards, wait_resolution=NO_RETRAIN
+        )
+        async with engine:
+            report = await drive(engine, streams)
+            snapshot = await engine.metrics()
+        return report, snapshot, engine
+
+    return asyncio.run(main())
+
+
+def _shard_series(environments, service):
+    """Epoch-batched load through the sharded router at each shard count."""
+    rows = []
+    for shards in SHARD_COUNTS:
+        streams = _streams(environments, SHARD_QUERIES, quantum=0.2)
+        report, snapshot, engine = _drive_sharded(service, streams, shards)
+        assert snapshot.decided == snapshot.submitted
+        rows.append(
+            {
+                "shards": shards,
+                "isolation": engine.effective_isolation,
+                "submitted": snapshot.submitted,
+                "decided": snapshot.decided,
+                "epochs": snapshot.epochs,
+                "sustained/s": round(report.sustained_rate, 1),
+            }
+        )
+    return rows
+
+
+def _synthetic_evaluator(nodes):
+    """A large evaluator built straight from arrays (never predicted with —
+    only its memory footprint matters here)."""
+    rng = np.random.default_rng(11)
+    feature = rng.integers(-1, 8, size=nodes).astype(np.int64)
+    threshold = rng.uniform(0.0, 500.0, size=nodes)
+    left = rng.integers(0, nodes, size=nodes).astype(np.int64)
+    right = rng.integers(0, nodes, size=nodes).astype(np.int64)
+    leaf_label = rng.integers(0, 4, size=nodes).astype(np.int64)
+    return CompiledTreeEvaluator.from_arrays(
+        feature=feature,
+        threshold=threshold,
+        left=left,
+        right=right,
+        leaf_label=leaf_label,
+        labels=("a", "b", "c", "d"),
+        feature_names=tuple(f"f{index}" for index in range(8)),
+    )
+
+
+def _model_memory_series():
+    """Replicated copies vs shared-memory attachments of one large model.
+
+    ``tracemalloc`` counts every numpy heap allocation but not the bytes a
+    worker maps from a shared segment, so the two numbers isolate exactly
+    what zero-copy shipping saves: N x payload for copies, O(1) per attach
+    for views.
+    """
+    base = _synthetic_evaluator(MEMORY_NODES)
+    payload = sum(
+        getattr(base, name).nbytes for name in shm.EVALUATOR_ARRAYS
+    )
+
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        replicas = [
+            CompiledTreeEvaluator.from_arrays(
+                feature=base.feature.copy(),
+                threshold=base.threshold.copy(),
+                left=base.left.copy(),
+                right=base.right.copy(),
+                leaf_label=base.leaf_label.copy(),
+                labels=base.labels,
+                feature_names=base.feature_names,
+            )
+            for _ in range(MEMORY_REPLICAS)
+        ]
+        after, _ = tracemalloc.get_traced_memory()
+        replicated_bytes = after - before
+        del replicas
+
+        bundle = shm.pack_evaluator(base)
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            attachments = [
+                shm.attach_evaluator(bundle.name)
+                for _ in range(MEMORY_REPLICAS)
+            ]
+            after, _ = tracemalloc.get_traced_memory()
+            shared_bytes = after - before
+            for _evaluator, view in attachments:
+                view.close()
+            del attachments
+        finally:
+            bundle.close()
+            bundle.unlink()
+    finally:
+        tracemalloc.stop()
+
+    # Zero-copy acceptance: all N attachments together must cost a small
+    # fraction of what N heap copies cost (each attach is view objects, not
+    # a payload copy).
+    assert shared_bytes * 20 < replicated_bytes, (
+        f"shared-memory attachments allocated {shared_bytes} heap bytes vs "
+        f"{replicated_bytes} for replicas; zero-copy shipping regressed"
+    )
+    return {
+        "replicas": MEMORY_REPLICAS,
+        "nodes": MEMORY_NODES,
+        "payload_bytes": payload,
+        "replicated_heap_bytes": replicated_bytes,
+        "replicated_per_copy_bytes": replicated_bytes // MEMORY_REPLICAS,
+        "shared_heap_bytes": shared_bytes,
+        "shared_per_attach_bytes": shared_bytes // MEMORY_REPLICAS,
+        "heap_ratio": round(replicated_bytes / max(1, shared_bytes), 1),
+    }
 
 
 def _row(name, report, snapshot):
@@ -184,12 +329,20 @@ def _run(environments, scale):
     rows.append(_row("degraded", report, snapshot))
     broken.close()
 
+    # 6. The sharded router: same load, shards ∈ SHARD_COUNTS.
+    shard_rows = _shard_series(environments, service)
+
+    # 7. Zero-copy proof: replicated evaluators vs shared-memory attachments.
+    memory_row = (
+        _model_memory_series() if shm.shared_memory_available() else None
+    )
+
     service.close()
-    return rows, max(singleton_rate, batched_rate)
+    return rows, max(singleton_rate, batched_rate), shard_rows, memory_row
 
 
 def test_serving_throughput_and_tail_latency(benchmark, environments, scale):
-    rows, no_retrain_rate = benchmark.pedantic(
+    rows, no_retrain_rate, shard_rows, memory_row = benchmark.pedantic(
         _run, args=(environments, scale), rounds=1, iterations=1
     )
     columns = [
@@ -210,12 +363,36 @@ def test_serving_throughput_and_tail_latency(benchmark, environments, scale):
         f"({scale.name} scale)",
         format_table(rows, columns),
     )
+    print_figure(
+        "Sharded serving: routing overhead by shard count (1-core container)",
+        format_table(
+            shard_rows,
+            ["shards", "isolation", "submitted", "decided", "epochs", "sustained/s"],
+        ),
+    )
+    if memory_row is not None:
+        print_figure(
+            "Zero-copy model shipping: heap per replica vs per attachment",
+            format_table(
+                [memory_row],
+                [
+                    "replicas",
+                    "nodes",
+                    "payload_bytes",
+                    "replicated_per_copy_bytes",
+                    "shared_per_attach_bytes",
+                    "heap_ratio",
+                ],
+            ),
+        )
     merge_bench_json(
         "serving",
         {
             "scale": scale.name,
             "queries_per_tenant": QUERIES_PER_TENANT,
             "serving": rows,
+            "shards": shard_rows,
+            "model_memory": memory_row,
             "acceptance": {
                 "no_retrain_decisions_per_sec": round(no_retrain_rate, 1),
                 "target_decisions_per_sec": 5000.0,

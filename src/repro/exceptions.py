@@ -81,3 +81,8 @@ class ConcurrencyError(WiSeDBError):
 class StorageError(WiSeDBError):
     """The registry's backing store is unusable (corrupt database file,
     schema from a newer library version, or a failed history write)."""
+
+
+class SharedMemoryError(WiSeDBError):
+    """A shared-memory segment could not be created, attached, or parsed
+    (e.g. attaching after the owner unlinked it, or a corrupt header)."""

@@ -1,10 +1,23 @@
 """Supervised learning of workload-management strategies (Section 4)."""
 
 from repro.learning.dataset import TrainingExample, TrainingSet
-from repro.learning.decision_tree import DecisionTreeClassifier, TreeNode
+from repro.learning.decision_tree import (
+    CompiledTreeEvaluator,
+    DecisionTreeClassifier,
+    TreeNode,
+)
 from repro.learning.features import FEATURE_FAMILIES, FeatureExtractor, INFEASIBLE_COST
 from repro.learning.model import DecisionModel, DecisionStats, ModelMetadata
 from repro.learning.sampling import training_workloads, workload_counts
+from repro.learning.shm import (
+    SharedArrayBundle,
+    SharedArrayView,
+    attach_arrays,
+    attach_evaluator,
+    pack_arrays,
+    pack_evaluator,
+    shared_memory_available,
+)
 from repro.learning.trainer import (
     ModelGenerator,
     SampleSolution,
@@ -15,6 +28,7 @@ from repro.learning.trainer import (
 __all__ = [
     "FEATURE_FAMILIES",
     "INFEASIBLE_COST",
+    "CompiledTreeEvaluator",
     "DecisionModel",
     "DecisionStats",
     "DecisionTreeClassifier",
@@ -22,11 +36,18 @@ __all__ = [
     "ModelGenerator",
     "ModelMetadata",
     "SampleSolution",
+    "SharedArrayBundle",
+    "SharedArrayView",
     "TrainingExample",
     "TrainingResult",
     "TrainingSet",
     "TreeNode",
+    "attach_arrays",
+    "attach_evaluator",
     "collect_examples",
+    "pack_arrays",
+    "pack_evaluator",
+    "shared_memory_available",
     "training_workloads",
     "workload_counts",
 ]

@@ -167,6 +167,57 @@ class CompiledTreeEvaluator:
         self.right = np.asarray(rights, dtype=np.int64)
         self.leaf_label = np.asarray(leaf_labels, dtype=np.int64)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        feature,
+        threshold,
+        left,
+        right,
+        leaf_label,
+        labels: Sequence[str],
+        feature_names: Sequence[str],
+    ) -> "CompiledTreeEvaluator":
+        """Rebuild an evaluator around existing flat arrays, without a tree.
+
+        Used by :mod:`repro.learning.shm` to attach an evaluator to
+        shared-memory views (and by tests/benches to clone one): the arrays
+        are adopted as-is — no copy — and the scalar hot path indexes them
+        directly in place of the list mirrors the compiling constructor
+        builds, so an attached evaluator adds O(1) heap per process
+        regardless of tree size.  Predictions are bit-identical to the
+        compiling constructor's: same thresholds, same ``<=`` comparisons,
+        same labels.
+        """
+        feature = np.asarray(feature)
+        threshold = np.asarray(threshold)
+        left = np.asarray(left)
+        right = np.asarray(right)
+        leaf_label = np.asarray(leaf_label)
+        nodes = feature.shape[0] if feature.ndim == 1 else -1
+        for array in (threshold, left, right, leaf_label):
+            if array.ndim != 1 or array.shape[0] != nodes or nodes <= 0:
+                raise TrainingError(
+                    "from_arrays expects five equal-length one-dimensional arrays"
+                )
+        evaluator = object.__new__(cls)
+        evaluator.feature = feature
+        evaluator.threshold = threshold
+        evaluator.left = left
+        evaluator.right = right
+        evaluator.leaf_label = leaf_label
+        evaluator.labels = tuple(labels)
+        evaluator.feature_names = tuple(feature_names)
+        # The scalar path reads these slots by index only, which numpy arrays
+        # support identically to lists — sharing the arrays keeps the attach
+        # zero-copy.
+        evaluator._feature_list = feature
+        evaluator._threshold_list = threshold
+        evaluator._left_list = left
+        evaluator._right_list = right
+        evaluator._leaf_list = leaf_label
+        return evaluator
+
     def predict_row(self, row) -> str:
         """Label for one feature row in this evaluator's column order."""
         features = self._feature_list

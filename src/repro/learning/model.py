@@ -312,6 +312,33 @@ class DecisionModel:
             self._evaluator = self._tree.compiled(self._extractor.feature_names)
         return self._evaluator
 
+    def compiled_evaluator(self):
+        """The compiled flat-array evaluator behind the inference fast path.
+
+        Public so the sharded serving layer can pack the evaluator's arrays
+        into shared memory (:mod:`repro.learning.shm`) and ship them to
+        worker processes zero-copy.
+        """
+        return self._compiled_evaluator()
+
+    def use_evaluator(self, evaluator) -> None:
+        """Adopt a pre-built evaluator for the inference fast path.
+
+        Sharded serving workers attach the parent's compiled evaluator from
+        shared memory and install it here, so per-dispatch predictions read
+        the shared arrays instead of a per-worker copy of the tree.  The
+        evaluator must have been compiled onto this model's extractor row
+        layout; a mismatched feature order would silently misread rows, so it
+        is refused up front.
+        """
+        if tuple(evaluator.feature_names) != tuple(self._extractor.feature_names):
+            raise ModelError(
+                "evaluator feature order does not match the model's extractor "
+                f"({len(evaluator.feature_names)} vs "
+                f"{len(self._extractor.feature_names)} features)"
+            )
+        self._evaluator = evaluator
+
     def _inference_row(self) -> list[float]:
         """The model's reusable (single-threaded) feature-row buffer."""
         row = self._row_buffer

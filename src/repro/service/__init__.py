@@ -18,6 +18,7 @@ deprecation shim over a single-tenant service.
 """
 
 from repro.service.registry import (
+    GCReport,
     ModelRegistry,
     canonical_json,
     fingerprint_payload,
@@ -30,6 +31,7 @@ from repro.service.storage import (
 )
 
 __all__ = [
+    "GCReport",
     "ModelRegistry",
     "RunRecord",
     "SQLiteStore",

@@ -50,7 +50,8 @@ import json
 import os
 import sqlite3
 import warnings
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
 
@@ -92,6 +93,41 @@ def canonical_json(data) -> str:
 def fingerprint_payload(payload: dict) -> str:
     """SHA-256 content fingerprint of a JSON-serializable payload."""
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What one :meth:`ModelRegistry.gc` pass examined, evicted, and kept.
+
+    ``evicted`` lists servable fingerprints removed (or, under ``dry_run``,
+    that *would* be removed) by the recency criteria; ``quarantined_evicted``
+    lists quarantined rows swept out alongside them.  ``kept`` is the
+    surviving servable set.  All tuples are sorted for stable comparison.
+    """
+
+    examined: int
+    evicted: tuple[str, ...]
+    kept: tuple[str, ...]
+    quarantined_evicted: tuple[str, ...]
+    dry_run: bool
+
+    @property
+    def evicted_count(self) -> int:
+        """Total rows removed, quarantined sweep included."""
+        return len(self.evicted) + len(self.quarantined_evicted)
+
+
+def _parse_timestamp(stamp: str | None) -> datetime:
+    """An artifact timestamp as an aware datetime (epoch when unparseable)."""
+    if stamp:
+        try:
+            parsed = datetime.fromisoformat(stamp)
+        except ValueError:
+            return datetime.fromtimestamp(0, timezone.utc)
+        if parsed.tzinfo is None:
+            parsed = parsed.replace(tzinfo=timezone.utc)
+        return parsed
+    return datetime.fromtimestamp(0, timezone.utc)
 
 
 class ModelRegistry:
@@ -340,6 +376,89 @@ class ModelRegistry:
                     if result is not None:
                         return result
         return None
+
+    # -- garbage collection ----------------------------------------------------------
+
+    def gc(
+        self,
+        keep_latest: int | None = None,
+        max_age: float | None = None,
+        dry_run: bool = False,
+        now: datetime | None = None,
+    ) -> GCReport:
+        """Evict stale artifacts from the store by access recency.
+
+        A registry that trains a model per (spec, goal) fingerprint grows
+        monotonically; this is the explicit eviction pass.  Rows are ranked
+        by ``last_accessed`` (touched on every servable ``get`` hit, seeded
+        to ``created_at`` by the v3 migration) and a row is evicted when
+        **either** criterion applies:
+
+        * *keep_latest* — keep only the N most recently accessed servable
+          artifacts (ties broken by fingerprint for determinism);
+        * *max_age* — evict anything not accessed within the last *max_age*
+          seconds.
+
+        Quarantined rows are unservable by definition, so any GC pass sweeps
+        them out regardless of the criteria — and they never count against
+        *keep_latest*.  ``dry_run=True`` reports the would-be evictions
+        without deleting anything.  *now* pins the clock (tests); evicted
+        fingerprints are also purged from the in-process caches so a later
+        ``get`` honestly misses.  Requires the SQLite backend.
+        """
+        if self._store is None:
+            raise SpecificationError(
+                "gc requires the sqlite backend (the JSON layout is an "
+                "import/export format, not a managed store)"
+            )
+        if keep_latest is None and max_age is None:
+            raise SpecificationError(
+                "gc needs at least one criterion: keep_latest or max_age"
+            )
+        if keep_latest is not None and keep_latest < 0:
+            raise SpecificationError("keep_latest must be non-negative")
+        if max_age is not None and max_age < 0:
+            raise SpecificationError("max_age must be non-negative seconds")
+        moment = now if now is not None else datetime.now(timezone.utc)
+        if moment.tzinfo is None:
+            moment = moment.replace(tzinfo=timezone.utc)
+        try:
+            rows = self._store.access_rows()
+        except sqlite3.Error as error:
+            raise StorageError(f"gc scan failed: {error}") from error
+        quarantined = [row["fingerprint"] for row in rows if row["quarantined"]]
+        servable = [row for row in rows if not row["quarantined"]]
+
+        def accessed(row: dict) -> datetime:
+            return _parse_timestamp(row["last_accessed"] or row["created_at"])
+
+        ordered = sorted(
+            servable, key=lambda row: (accessed(row), row["fingerprint"]), reverse=True
+        )
+        evicted: list[str] = []
+        kept: list[str] = []
+        for rank, row in enumerate(ordered):
+            stale = keep_latest is not None and rank >= keep_latest
+            if not stale and max_age is not None:
+                stale = (moment - accessed(row)).total_seconds() > max_age
+            (evicted if stale else kept).append(row["fingerprint"])
+        doomed = quarantined + evicted
+        if not dry_run and doomed:
+            try:
+                self._store.delete_artifacts(tuple(doomed))
+            except sqlite3.Error as error:
+                raise StorageError(f"gc delete failed: {error}") from error
+            for fingerprint in doomed:
+                self._cache.pop(fingerprint, None)
+                self._bases.pop(fingerprint, None)
+                self._provenance.pop(fingerprint, None)
+        return GCReport(
+            examined=len(rows),
+            evicted=tuple(sorted(evicted)),
+            kept=tuple(sorted(kept)),
+            quarantined_evicted=tuple(sorted(quarantined)),
+            dry_run=dry_run,
+        )
 
     # -- metadata and quarantine ---------------------------------------------------
 

@@ -16,8 +16,9 @@ are:
 * ``foreign_keys=ON`` — metadata rows can never outlive their artifact;
 * ``synchronous=NORMAL`` — the standard WAL durability/throughput trade.
 
-Three tables, introduced by two forward migrations (tracked via
-``PRAGMA user_version`` so an old file upgrades in place):
+Three tables, introduced by a chain of forward migrations (tracked via
+``PRAGMA user_version`` so an old file upgrades in place; v3 adds the
+``last_accessed`` column registry GC evicts by):
 
 * ``artifacts`` — one row per trained model: fingerprint (primary key),
   base fingerprint (indexed — ``find_base`` is a point query, not a scan),
@@ -236,12 +237,30 @@ def _migrate_v2(connection: sqlite3.Connection) -> None:
     )
 
 
+def _migrate_v3(connection: sqlite3.Connection) -> None:
+    """Schema v3: access tracking, so the registry can GC by recency.
+
+    ``last_accessed`` is touched on every servable ``get_payload`` hit and
+    seeded to ``created_at`` for pre-existing rows — an upgraded database
+    starts with "accessed when created", the most conservative backfill.
+    """
+    _execute_statements(
+        connection,
+        """
+        ALTER TABLE artifacts ADD COLUMN last_accessed TEXT;
+        UPDATE artifacts SET last_accessed = created_at;
+        CREATE INDEX idx_artifacts_accessed ON artifacts (last_accessed);
+        """,
+    )
+
+
 #: Forward migrations, applied in order to bring ``user_version`` up to date.
 #: Never edit an entry in place — append a new one (old files migrate through
 #: the exact statements their data was created under).
 MIGRATIONS = (
     (1, _migrate_v1),
     (2, _migrate_v2),
+    (3, _migrate_v3),
 )
 
 #: The schema version a fully migrated database reports.
@@ -269,6 +288,7 @@ class SQLiteStore:
             for pragma, value in _PRAGMAS:
                 self._connection.execute(f"PRAGMA {pragma}={value}")
             self._migrate(target_version or SCHEMA_VERSION)
+            self._version = self.schema_version
         except sqlite3.DatabaseError as error:
             raise StorageError(
                 f"cannot open model-registry database {self._path!r}: {error}"
@@ -328,22 +348,34 @@ class SQLiteStore:
         metadata: dict | None = None,
     ) -> None:
         """Insert or replace one artifact row (re-putting heals quarantine)."""
+        timestamp = utc_timestamp()
+        if self._version >= 3:
+            columns = (
+                "(fingerprint, base_fingerprint, provenance, spec, training,"
+                " quarantined, quarantine_reason, created_at, last_accessed) "
+                "VALUES (?, ?, ?, ?, ?, 0, NULL, ?, ?)"
+            )
+            stamps: tuple = (timestamp, timestamp)
+        else:  # a store deliberately opened at an old schema version
+            columns = (
+                "(fingerprint, base_fingerprint, provenance, spec, training,"
+                " quarantined, quarantine_reason, created_at) "
+                "VALUES (?, ?, ?, ?, ?, 0, NULL, ?)"
+            )
+            stamps = (timestamp,)
         with self._lock:
             self._connection.execute("BEGIN IMMEDIATE")
             try:
                 self._connection.execute(
-                    "INSERT OR REPLACE INTO artifacts "
-                    "(fingerprint, base_fingerprint, provenance, spec, training,"
-                    " quarantined, quarantine_reason, created_at) "
-                    "VALUES (?, ?, ?, ?, ?, 0, NULL, ?)",
+                    "INSERT OR REPLACE INTO artifacts " + columns,
                     (
                         fingerprint,
                         base_fingerprint,
                         provenance,
                         spec_json,
                         training_json,
-                        utc_timestamp(),
-                    ),
+                    )
+                    + stamps,
                 )
                 if metadata is not None:
                     self._connection.execute(
@@ -387,6 +419,13 @@ class SQLiteStore:
         ).fetchone()
         if row is None:
             return None
+        if self._version >= 3:
+            # Touch-on-read: GC evicts by recency of *use*, not of training.
+            with self._lock:
+                self._connection.execute(
+                    "UPDATE artifacts SET last_accessed = ? WHERE fingerprint = ?",
+                    (utc_timestamp(), fingerprint),
+                )
         try:
             training = json.loads(row["training"])
         except json.JSONDecodeError:
@@ -461,6 +500,32 @@ class SQLiteStore:
             "WHERE quarantined = 1 ORDER BY fingerprint"
         ).fetchall()
         return tuple((row["fingerprint"], row["quarantine_reason"]) for row in rows)
+
+    def access_rows(self) -> tuple[dict, ...]:
+        """Every artifact's GC bookkeeping, sorted by fingerprint.
+
+        Each row carries ``fingerprint``, ``quarantined`` (0/1),
+        ``created_at``, and ``last_accessed`` — what the registry's
+        :meth:`~repro.service.registry.ModelRegistry.gc` ranks and filters on
+        without touching a single blob.
+        """
+        rows = self._connection.execute(
+            "SELECT fingerprint, quarantined, created_at, last_accessed "
+            "FROM artifacts ORDER BY fingerprint"
+        ).fetchall()
+        return tuple(dict(row) for row in rows)
+
+    def delete_artifacts(self, fingerprints: tuple[str, ...]) -> int:
+        """Delete the given artifact rows (metadata cascades); returns count."""
+        if not fingerprints:
+            return 0
+        placeholders = ", ".join("?" for _ in fingerprints)
+        with self._lock:
+            cursor = self._connection.execute(
+                f"DELETE FROM artifacts WHERE fingerprint IN ({placeholders})",
+                tuple(fingerprints),
+            )
+        return cursor.rowcount
 
     def model_metadata(self, fingerprint: str) -> dict | None:
         """The metadata projection for a servable artifact (no blob touched)."""

@@ -17,7 +17,12 @@ exposes health and metrics.
 * :func:`drive` / :class:`TenantStream` / :class:`LoadReport` — the open-loop
   workload driver behind ``benchmarks/bench_serving.py``, replaying seeded
   arrival processes (:mod:`repro.workloads.arrivals`) at a target offered
-  rate regardless of response times.
+  rate regardless of response times;
+* :class:`ShardedServingEngine` — the multi-process router: tenants
+  partitioned across forked per-shard engines by :func:`shard_of`, models
+  shipped zero-copy through :mod:`repro.learning.shm`, per-shard snapshots
+  merged by :func:`merge_metrics`, bit-identical outcomes for any shard
+  count.
 """
 
 from repro.serving.engine import (
@@ -27,7 +32,13 @@ from repro.serving.engine import (
     ServingTicket,
 )
 from repro.serving.loadgen import LoadReport, TenantStream, drive, merge_streams
-from repro.serving.metrics import ServingMetrics, TenantMetrics, percentile
+from repro.serving.metrics import (
+    ServingMetrics,
+    TenantMetrics,
+    merge_metrics,
+    percentile,
+)
+from repro.serving.sharded import ShardedServingEngine, shard_of
 
 __all__ = [
     "Admission",
@@ -36,9 +47,12 @@ __all__ = [
     "ServingEngine",
     "ServingMetrics",
     "ServingTicket",
+    "ShardedServingEngine",
     "TenantMetrics",
     "TenantStream",
     "drive",
+    "merge_metrics",
     "merge_streams",
     "percentile",
+    "shard_of",
 ]

@@ -207,6 +207,7 @@ class ServingEngine:
         backpressure: str = "block",
         wait_resolution: float = 30.0,
         optimizations: OnlineOptimizations | None = None,
+        log_outcomes: bool = True,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise SpecificationError(
@@ -220,6 +221,11 @@ class ServingEngine:
         self._backpressure = backpressure
         self._wait_resolution = wait_resolution
         self._optimizations = optimizations
+        #: When False, close() still prices every lane but leaves run-history
+        #: logging to the caller — the sharded front end sets this on its
+        #: per-shard engines so history is written once, in a deterministic
+        #: order, by the router.
+        self._log_outcomes = log_outcomes
         self._lanes: dict[str, _TenantLane] = {}
         self._closed = False
 
@@ -468,30 +474,38 @@ class ServingEngine:
             await asyncio.gather(*workers)
         for lane in self._lanes.values():
             lane.guard.close()
-        self._log_outcomes()
+        outcomes = self.collect_outcomes()
+        if self._log_outcomes:
+            for name, outcome in outcomes.items():
+                self._service._record_history(name, outcome, "serving")
 
-    def _log_outcomes(self) -> None:
-        """Price each completed lane once and log it to the run history.
+    def collect_outcomes(self) -> dict[str, SchedulingOutcome]:
+        """Price each completed lane once (lane insertion order).
 
         Failed lanes, never-admitted lanes, and lanes that ran entirely
         degraded (no learned session) have no priceable outcome and are
-        skipped; everything else lands in the registry's ``run_history``
-        under ``source="serving"``, next to the service's batch/online rows.
+        skipped.  With outcome logging enabled (the default) the result also
+        lands in the registry's ``run_history`` under ``source="serving"`` at
+        close, next to the service's batch/online rows; the sharded front end
+        disables that and logs the merged map itself.
         """
+        outcomes: dict[str, SchedulingOutcome] = {}
         for lane in self._lanes.values():
             if lane.failure is not None or lane.session is None or lane.admitted == 0:
                 continue
-            try:
-                outcome = lane.session.outcome()
-            except WiSeDBError:
-                # Close must succeed even if a lane cannot be priced.
-                continue
-            if lane.degraded_reason is not None:
-                outcome = replace(
-                    outcome, degraded=True, degraded_reason=lane.degraded_reason
-                )
-            lane.outcome = outcome
-            self._service._record_history(lane.name, outcome, "serving")
+            if lane.outcome is None:
+                try:
+                    outcome = lane.session.outcome()
+                except WiSeDBError:
+                    # Close must succeed even if a lane cannot be priced.
+                    continue
+                if lane.degraded_reason is not None:
+                    outcome = replace(
+                        outcome, degraded=True, degraded_reason=lane.degraded_reason
+                    )
+                lane.outcome = outcome
+            outcomes[lane.name] = lane.outcome
+        return outcomes
 
     @property
     def closed(self) -> bool:

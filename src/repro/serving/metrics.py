@@ -19,6 +19,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.exceptions import SpecificationError
 
 
 def percentile(values: list[float], fraction: float) -> float:
@@ -118,6 +121,10 @@ class ServingMetrics:
     def retrains(self) -> int:
         return sum(entry.retrains for entry in self.tenants)
 
+    def merged_with(self, *others: "ServingMetrics") -> "ServingMetrics":
+        """Convenience chaining form of :func:`merge_metrics`."""
+        return merge_metrics([self, *others])
+
     def describe(self) -> str:
         """A compact multi-line human-readable rendering."""
         lines = [
@@ -138,3 +145,50 @@ class ServingMetrics:
                 line += f" [{entry.degraded_reason}]"
             lines.append(line)
         return "\n".join(lines)
+
+
+#: Engine-status precedence used when merging per-shard snapshots.
+_STATUS_ORDER = ("failed", "closed", "overloaded", "degraded", "ok")
+
+
+def merge_metrics(
+    snapshots: Sequence[ServingMetrics], closed: bool | None = None
+) -> ServingMetrics:
+    """Merge per-shard snapshots into one engine-wide :class:`ServingMetrics`.
+
+    Shards own disjoint tenant sets, so the merge is pure concatenation —
+    every per-tenant entry (and therefore every counter identity
+    ``check_identities`` pins) is preserved verbatim, even when one shard is
+    mid-drain or blocked admitting while another is snapshotted.  A tenant
+    appearing in two snapshots means the router misrouted and is refused.
+
+    The merged status takes the worst per-shard status under the single-
+    engine precedence (``failed`` > ``closed`` > ``overloaded`` > ``degraded``
+    > ``ok``); pass ``closed`` to override the closed-ness of the merged
+    engine (a router knows whether *it* closed, individual shards may lag).
+    """
+    if not snapshots:
+        return ServingMetrics(status="closed" if closed else "ok")
+    entries: list[TenantMetrics] = []
+    seen: set[str] = set()
+    for snapshot in snapshots:
+        for entry in snapshot.tenants:
+            if entry.tenant in seen:
+                raise SpecificationError(
+                    f"tenant {entry.tenant!r} appears in more than one shard "
+                    "snapshot; shards must own disjoint tenant sets"
+                )
+            seen.add(entry.tenant)
+            entries.append(entry)
+    statuses = {snapshot.status for snapshot in snapshots}
+    unknown = statuses.difference(_STATUS_ORDER)
+    if unknown:
+        raise SpecificationError(f"cannot merge unknown engine statuses {unknown}")
+    if closed is True:
+        statuses.add("closed")
+    elif closed is False:
+        statuses.discard("closed")
+    status = next(
+        (candidate for candidate in _STATUS_ORDER if candidate in statuses), "ok"
+    )
+    return ServingMetrics(status=status, tenants=tuple(entries))

@@ -1,0 +1,824 @@
+"""Shared-memory sharded serving: one :class:`ServingEngine` per core.
+
+:class:`ShardedServingEngine` is a router in front of N *shards*.  Tenants
+are partitioned across shards by a deterministic hash of the tenant id
+(:func:`shard_of` — stable across processes and runs, unlike salted
+``hash()``), and each shard runs a full single-process
+:class:`~repro.serving.engine.ServingEngine` — its own event loop, lanes,
+epoch batching, backpressure, and degraded fallback — in a forked worker
+process speaking a small request/reply protocol over a ``multiprocessing``
+pipe.
+
+**Models ship zero-copy.**  A tenant's trained model is serialized once at
+registration (the registry's pinned ``to_dict``/``from_dict`` round trip,
+which restores bit-identical schedulers), but the inference hot path does not
+run on the round-tripped tree: the parent packs its
+:class:`~repro.learning.decision_tree.CompiledTreeEvaluator` — five flat
+parallel arrays — into a ``multiprocessing.shared_memory`` segment
+(:mod:`repro.learning.shm`) and every worker attaches read-only views, so N
+shards cost one copy of the arrays plus O(1) heap per attachment instead of
+N unpickled trees.
+
+**Bit-identical for any shard count.**  Tenant lanes are fully independent
+in the single-process engine — no cross-tenant state — so partitioning them
+across processes cannot change any tenant's decision stream.  Shipping is
+bit-identity-preserving (round-trip tests pin it; the shared evaluator *is*
+the parent's arrays), and per-tenant arrival order is preserved because the
+router awaits each admission.  The equivalence suite locks
+``shards ∈ {1, 2, 4}`` against ``OnlineScheduler.run`` for every goal kind
+and catalog.
+
+**Fallback discipline.**  Mirroring
+:class:`~repro.parallel.backend.ProcessPoolBackend`, the router prefers a
+``fork`` multiprocessing context, falls back to the platform default, and —
+when process spawn or shared memory is unavailable (``isolation="auto"``) —
+degrades to *inline* shards: the same routing over in-process
+``ServingEngine`` partitions, with the reason recorded in
+:attr:`ShardedServingEngine.fallback_reason`.  ``shards=1`` in auto mode is
+exactly the existing single-process engine.  This is also what makes the
+whole surface testable on a 1-core CI container.
+
+**Observability and history.**  ``metrics()`` merges per-shard snapshots
+with :func:`~repro.serving.metrics.merge_metrics` — tenant entries are
+concatenated verbatim, so the counter identities hold mid-drain even while
+one shard is blocked admitting.  At ``close()`` every shard prices its lanes
+locally (with per-shard history logging disabled) and the router writes all
+run-history rows itself, ordered deterministically by tenant name.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import warnings
+from contextlib import ExitStack
+from dataclasses import dataclass
+
+from repro.core.scheduler import SchedulingOutcome
+from repro.exceptions import SpecificationError, TrainingError, WiSeDBError
+from repro.learning import shm
+from repro.learning.trainer import TrainingResult
+from repro.runtime.online import OnlineOptimizations
+from repro.service.service import Tenant, TenantSpec, WiSeDBService
+from repro.serving.engine import _ADMITTED, Admission, BACKPRESSURE_POLICIES, ServingEngine
+from repro.serving.metrics import ServingMetrics, merge_metrics
+from repro.workloads.query import Query
+
+#: How shards are hosted: ``process`` (forked workers), ``inline``
+#: (in-process engine partitions), or ``auto`` (process when the platform
+#: supports it and more than one shard was asked for).
+ISOLATION_MODES = ("auto", "process", "inline")
+
+#: Seconds to wait for a worker process to exit after its pipe closes.
+_JOIN_TIMEOUT = 10.0
+
+
+def shard_of(tenant: str, shards: int) -> int:
+    """Deterministic tenant-id routing, stable across processes and runs.
+
+    ``hash()`` is salted per process, so the router hashes the UTF-8 tenant
+    name through sha256 instead — the same tenant always lands on the same
+    shard, which is what keeps per-tenant arrival order (and therefore the
+    decision stream) independent of the shard count.
+    """
+    if shards < 1:
+        raise SpecificationError("shard count must be at least 1")
+    digest = hashlib.sha256(tenant.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def _pickle_error(error: BaseException):
+    """An exception as pipe-safe bytes (falls back to its rendering)."""
+    try:
+        blob = pickle.dumps(error)
+        pickle.loads(blob)  # some exceptions pickle but refuse to unpickle
+    except Exception:
+        return f"{type(error).__name__}: {error}"
+    return blob
+
+
+def _unpickle_error(blob) -> BaseException:
+    if isinstance(blob, bytes):
+        try:
+            error = pickle.loads(blob)
+        except Exception:
+            return WiSeDBError("shard worker failed with an unpicklable error")
+        if isinstance(error, BaseException):
+            return error
+    if isinstance(blob, str):
+        return WiSeDBError(blob)
+    return WiSeDBError(f"shard worker failed: {blob!r}")
+
+
+def _lane_states(engine: ServingEngine) -> dict[str, tuple[str, object]]:
+    """Each lane's terminal state, for the router's ``outcome()`` semantics."""
+    states: dict[str, tuple[str, object]] = {}
+    for name, lane in engine._lanes.items():
+        if lane.failure is not None:
+            states[name] = ("failed", lane.failure)
+        elif lane.session is None:
+            states[name] = ("degraded", lane.degraded_reason)
+        else:
+            states[name] = ("ok", None)
+    return states
+
+
+# -- the worker side ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardConfig:
+    """Engine parameters a worker needs to mirror the router's settings."""
+
+    index: int
+    queue_limit: int
+    backpressure: str
+    wait_resolution: float
+    optimizations: OnlineOptimizations | None
+    degraded_fallback: bool
+
+
+class _ShardService(WiSeDBService):
+    """Worker-side service: models are shipped in, never trained locally.
+
+    The parent trains (or fails to train) each tenant once and ships the
+    result — or the pickled training error, so a degraded lane's sticky
+    reason string is bit-identical to the single-process engine's.  Wait-
+    triggered *retraining* inside a lane still runs locally through the
+    tenant's generator, exactly as it does in-process.
+    """
+
+    def __init__(self, degraded_fallback: bool) -> None:
+        super().__init__(degraded_fallback=degraded_fallback)
+        self._shipped: dict[str, object] = {}
+
+    def adopt(self, spec: TenantSpec, shipped: object) -> None:
+        self._tenants[spec.name] = Tenant(spec, backend_factory=lambda: self.backend)
+        self._shipped[spec.name] = shipped
+
+    def train(self, name: str, mode: str = "auto") -> TrainingResult:
+        tenant = self.tenant(name)
+        if tenant.training is not None:
+            return tenant.training
+        shipped = self._shipped.get(name)
+        if isinstance(shipped, BaseException):
+            raise shipped
+        if not isinstance(shipped, TrainingResult):
+            raise TrainingError(
+                f"no training result was shipped for tenant {name!r}"
+            )
+        tenant.training = shipped
+        tenant.provenance = "shipped"
+        return shipped
+
+
+def _register_shipment(
+    service: _ShardService, payload: dict, attachments: list
+) -> None:
+    """Adopt one tenant from the router's registration payload."""
+    spec = TenantSpec.from_dict(payload["spec"], n_jobs=1)
+    kind, blob = payload["training"]
+    if kind == "error":
+        service.adopt(spec, _unpickle_error(blob))
+        return
+    result = TrainingResult.from_dict(blob, n_jobs=1)
+    segment = payload["evaluator"]
+    if segment is not None:
+        evaluator, view = shm.attach_evaluator(segment)
+        attachments.append(view)
+        result.model.use_evaluator(evaluator)
+    service.adopt(spec, result)
+
+
+async def _shard_worker_loop(connection, config: _ShardConfig) -> None:
+    """One worker: a full ServingEngine driven by pipe requests.
+
+    Request ordering matters: ``submit``/``drain``/``close`` are funneled
+    through a single pump task so same-tenant arrivals keep their order even
+    when a full queue blocks admission (concurrent submit tasks could be
+    overtaken by a later ``put_nowait`` when the queue drains).  ``register``
+    and ``metrics`` are answered directly from the receive loop — which is
+    what keeps snapshots (and their counter identities) available while the
+    pump is blocked admitting.
+    """
+    loop = asyncio.get_running_loop()
+    service = _ShardService(degraded_fallback=config.degraded_fallback)
+    engine = ServingEngine(
+        service,
+        queue_limit=config.queue_limit,
+        backpressure=config.backpressure,
+        wait_resolution=config.wait_resolution,
+        optimizations=config.optimizations,
+        log_outcomes=False,
+    )
+    attachments: list = []
+    requests: asyncio.Queue = asyncio.Queue()
+    #: Lanes whose epoch is held open between pipe round-trips (see below).
+    holds: dict[str, object] = {}
+
+    def reply(request_id: int, kind: str, body) -> None:
+        connection.send((request_id, (kind, body)))
+
+    def release_holds() -> None:
+        for lane in holds.values():
+            lane.blocked_putters -= 1
+        holds.clear()
+
+    async def pump() -> None:
+        while True:
+            item = await requests.get()
+            if item is None:
+                return
+            request_id, command, payload = item
+            try:
+                if command == "submit":
+                    tenant, queries = payload
+                    # Hold the lane's epoch open across pipe round-trips.
+                    # The router awaits every admission reply, so between two
+                    # same-timestamp submits the lane worker sees an idle
+                    # queue and would close the epoch early — splitting what
+                    # an in-process burst (and ``OnlineScheduler.run``) parses
+                    # as ONE epoch.  Pinning ``blocked_putters`` (the same
+                    # signal an in-process submitter blocked on a full queue
+                    # emits) disables only that idle flush: epochs are decided
+                    # purely by the timestamp watermark until drain or close,
+                    # which is exactly the direct run's grouping.
+                    lane = engine._lane(tenant)
+                    if tenant not in holds:
+                        holds[tenant] = lane
+                        lane.blocked_putters += 1
+                    admissions = []
+                    for query in queries:
+                        admission = await engine.submit(tenant, query)
+                        admissions.append((admission.admitted, admission.shed_reason))
+                    reply(request_id, "admissions", admissions)
+                elif command == "drain":
+                    # Flush the epochs the holds kept open (the lane worker's
+                    # own idle flush, run from here because the workers are
+                    # parked on empty queues); queued leftovers are decided by
+                    # the workers themselves once the join below runs them.
+                    release_holds()
+                    for lane in engine._lanes.values():
+                        if (
+                            lane.pending
+                            and lane.queue.empty()
+                            and lane.blocked_putters == 0
+                        ):
+                            engine._decide(lane)
+                    await engine.drain()
+                    reply(request_id, "ok", None)
+                elif command == "close":
+                    release_holds()
+                    await engine.close()
+                    outcomes = engine.collect_outcomes()
+                    states = _lane_states(engine)
+                    try:
+                        reply(request_id, "closed", (outcomes, states))
+                    except Exception as error:
+                        reply(
+                            request_id,
+                            "closed",
+                            ({}, {}, f"unshippable close payload: {error}"),
+                        )
+            except BaseException as error:
+                reply(request_id, "error", _pickle_error(error))
+                if not isinstance(error, Exception):
+                    raise
+
+    pump_task = loop.create_task(pump(), name=f"wisedb-shard-{config.index}-pump")
+    try:
+        while True:
+            try:
+                message = await loop.run_in_executor(None, connection.recv)
+            except (EOFError, OSError):
+                break
+            request_id, command, payload = message
+            if command == "shutdown":
+                # Explicit, because EOF cannot be relied on: shards forked
+                # later inherit duplicates of this pipe's parent end, so the
+                # router closing its copy does not close the channel.
+                break
+            if command == "register":
+                try:
+                    _register_shipment(service, payload, attachments)
+                except BaseException as error:
+                    reply(request_id, "error", _pickle_error(error))
+                else:
+                    reply(request_id, "ok", None)
+            elif command == "metrics":
+                snapshot = engine.metrics()
+                reply(request_id, "metrics", snapshot)
+            else:
+                requests.put_nowait((request_id, command, payload))
+    finally:
+        requests.put_nowait(None)
+        await pump_task
+        if not engine.closed:
+            await engine.close()
+        for view in attachments:
+            view.close()
+
+
+def _shard_worker_main(connection, config: _ShardConfig) -> None:
+    try:
+        asyncio.run(_shard_worker_loop(connection, config))
+    except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover - parent gone
+        pass
+    finally:
+        try:
+            connection.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# -- the router's shard handles ----------------------------------------------------
+
+
+class _ProcessShard:
+    """Router-side handle on one forked worker: pipe, reader task, futures."""
+
+    kind = "process"
+
+    def __init__(self, index: int, context, config: _ShardConfig) -> None:
+        self.index = index
+        parent_end, child_end = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker_main,
+            args=(child_end, config),
+            daemon=True,
+            name=f"wisedb-shard-{index}",
+        )
+        self._process.start()
+        child_end.close()
+        self._connection = parent_end
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._send_lock = asyncio.Lock()
+        self._closing = False
+        self._dead: WiSeDBError | None = None
+        self._reader = asyncio.get_running_loop().create_task(
+            self._read_loop(), name=f"wisedb-shard-{index}-reader"
+        )
+
+    async def _read_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                message = await loop.run_in_executor(None, self._connection.recv)
+            except (EOFError, OSError):
+                break
+            request_id, payload = message
+            future = self._pending.pop(request_id, None)
+            if future is not None and not future.done():
+                future.set_result(payload)
+        if not self._closing:
+            self._dead = WiSeDBError(
+                f"serving shard {self.index} exited unexpectedly"
+            )
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(self._dead)
+            self._pending.clear()
+
+    async def request(self, command: str, payload=None):
+        if self._dead is not None:
+            raise self._dead
+        loop = asyncio.get_running_loop()
+        request_id = next(self._ids)
+        future = loop.create_future()
+        self._pending[request_id] = future
+        message = (request_id, command, payload)
+        async with self._send_lock:
+            await loop.run_in_executor(None, self._connection.send, message)
+        kind, body = await future
+        if kind == "error":
+            raise _unpickle_error(body)
+        return body
+
+    async def register(self, payload: dict) -> None:
+        await self.request("register", payload)
+
+    async def submit(self, tenant: str, queries: list[Query]):
+        return await self.request("submit", (tenant, queries))
+
+    async def drain(self) -> None:
+        await self.request("drain")
+
+    async def metrics(self) -> ServingMetrics:
+        return await self.request("metrics")
+
+    async def close(self):
+        outcomes: dict[str, SchedulingOutcome] = {}
+        states: dict[str, tuple[str, object]] = {}
+        try:
+            body = await self.request("close")
+            outcomes, states = body[0], body[1]
+            if len(body) > 2:  # close payload could not be pickled
+                warnings.warn(
+                    f"serving shard {self.index}: {body[2]}", RuntimeWarning
+                )
+        except WiSeDBError as error:
+            warnings.warn(
+                f"serving shard {self.index} lost before close: {error}",
+                RuntimeWarning,
+            )
+        self._closing = True
+        loop = asyncio.get_running_loop()
+        try:
+            async with self._send_lock:
+                await loop.run_in_executor(
+                    None, self._connection.send, (0, "shutdown", None)
+                )
+        except (OSError, ValueError):  # worker already gone
+            pass
+        await self._reader
+        await loop.run_in_executor(None, self._process.join, _JOIN_TIMEOUT)
+        if self._process.is_alive():  # pragma: no cover - join-timeout safety
+            self._process.terminate()
+            self._process.join(1.0)
+        try:
+            self._connection.close()
+        except OSError:  # pragma: no cover
+            pass
+        return outcomes, states
+
+
+class _InlineShard:
+    """One in-process engine partition (the fork/shm-free fallback)."""
+
+    kind = "inline"
+
+    def __init__(self, index: int, engine: ServingEngine) -> None:
+        self.index = index
+        self.engine = engine
+
+    async def register(self, payload: dict) -> None:
+        # Inline shards share the router's service: lanes train lazily on
+        # first submit through the normal single-process path.
+        pass
+
+    async def submit(self, tenant: str, queries: list[Query]):
+        admissions = []
+        for query in queries:
+            admission = await self.engine.submit(tenant, query)
+            admissions.append((admission.admitted, admission.shed_reason))
+        return admissions
+
+    async def drain(self) -> None:
+        await self.engine.drain()
+
+    async def metrics(self) -> ServingMetrics:
+        return self.engine.metrics()
+
+    async def close(self):
+        await self.engine.close()
+        return self.engine.collect_outcomes(), _lane_states(self.engine)
+
+
+# -- the router --------------------------------------------------------------------
+
+
+class ShardedServingEngine:
+    """A multi-process serving front end with deterministic tenant routing.
+
+    Use like the single-process engine, with two differences: ``metrics()``
+    and ``health()`` are coroutines (they round-trip worker pipes), and
+    per-query tickets are not supported across processes::
+
+        async with ShardedServingEngine(service, shards=4) as engine:
+            await engine.submit("acme", query)
+            ...
+            await engine.drain()
+            print((await engine.metrics()).describe())
+        outcome = engine.outcome("acme")   # after close: priced, unified
+
+    Outcomes are bit-identical to :class:`~repro.serving.engine.ServingEngine`
+    (and therefore to ``OnlineScheduler.run``) for any shard count.
+    """
+
+    def __init__(
+        self,
+        service: WiSeDBService,
+        shards: int | None = None,
+        queue_limit: int = 1024,
+        backpressure: str = "block",
+        wait_resolution: float = 30.0,
+        optimizations: OnlineOptimizations | None = None,
+        isolation: str = "auto",
+    ) -> None:
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise SpecificationError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"choose from {BACKPRESSURE_POLICIES}"
+            )
+        if queue_limit < 1:
+            raise SpecificationError("queue_limit must be at least 1")
+        if isolation not in ISOLATION_MODES:
+            raise SpecificationError(
+                f"unknown isolation mode {isolation!r}; "
+                f"choose from {ISOLATION_MODES}"
+            )
+        if shards is None:
+            shards = max(1, os.cpu_count() or 1)
+        if shards < 1:
+            raise SpecificationError("shards must be at least 1")
+        self._service = service
+        self._num_shards = shards
+        self._queue_limit = queue_limit
+        self._backpressure = backpressure
+        self._wait_resolution = wait_resolution
+        self._optimizations = optimizations
+        self._isolation = isolation
+        #: Why the router degraded from process isolation (``None`` if it
+        #: did not) — same contract as ``ProcessPoolBackend.fallback_reason``.
+        self.fallback_reason: str | None = None
+        self._shards: list = []
+        self._started = False
+        self._closed = False
+        #: tenant -> shard index, in first-submit order (snapshot ordering).
+        self._tenants: dict[str, int] = {}
+        self._registrations: dict[str, asyncio.Task] = {}
+        self._guards: dict[str, ExitStack] = {}
+        self._bundles: dict[int, shm.SharedArrayBundle] = {}
+        self._outcomes: dict[str, SchedulingOutcome] = {}
+        self._lane_states: dict[str, tuple[str, object]] = {}
+
+    async def __aenter__(self) -> "ShardedServingEngine":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed admission shutdown."""
+        return self._closed
+
+    @property
+    def shard_count(self) -> int:
+        return self._num_shards
+
+    @property
+    def effective_isolation(self) -> str | None:
+        """``"process"`` or ``"inline"`` once started, ``None`` before."""
+        if not self._started or not self._shards:
+            return None
+        return self._shards[0].kind
+
+    # -- startup and fallback ------------------------------------------------------
+
+    def _engine_config(self, index: int) -> _ShardConfig:
+        return _ShardConfig(
+            index=index,
+            queue_limit=self._queue_limit,
+            backpressure=self._backpressure,
+            wait_resolution=self._wait_resolution,
+            optimizations=self._optimizations,
+            degraded_fallback=self._service.degraded_fallback,
+        )
+
+    def _inline_shards(self) -> list:
+        return [
+            _InlineShard(
+                index,
+                ServingEngine(
+                    self._service,
+                    queue_limit=self._queue_limit,
+                    backpressure=self._backpressure,
+                    wait_resolution=self._wait_resolution,
+                    optimizations=self._optimizations,
+                    log_outcomes=False,
+                ),
+            )
+            for index in range(self._num_shards)
+        ]
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        mode = self._isolation
+        if mode == "auto":
+            if self._num_shards == 1:
+                # One shard needs no processes: this *is* the single-process
+                # engine, and auto mode keeps it that way.
+                mode = "inline"
+            elif not shm.shared_memory_available():
+                mode = "inline"
+                self.fallback_reason = "shared memory unavailable"
+            else:
+                mode = "process"
+        if mode == "process":
+            try:
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - platform without fork
+                    context = multiprocessing.get_context()
+                shards = []
+                try:
+                    for index in range(self._num_shards):
+                        shards.append(
+                            _ProcessShard(index, context, self._engine_config(index))
+                        )
+                except BaseException:
+                    for shard in shards:
+                        shard._closing = True
+                        shard._connection.close()
+                        shard._process.terminate()
+                    raise
+            except (OSError, ValueError) as error:
+                # Same discipline as ProcessPoolBackend: degrade loudly to
+                # the in-process path instead of refusing to serve.
+                self.fallback_reason = (
+                    f"process shards unavailable ({type(error).__name__}: {error})"
+                )
+                self._shards = self._inline_shards()
+            else:
+                self._shards = shards
+        else:
+            self._shards = self._inline_shards()
+
+    # -- registration (process shards only) ---------------------------------------
+
+    def _shipment(self, name: str) -> dict:
+        """Train (or fail) the tenant in the router and package the shipment."""
+        spec = self._service.tenant(name).spec
+        try:
+            result = self._service.train(name)
+        except WiSeDBError as error:
+            if not self._service.degraded_fallback:
+                raise
+            # Ship the error itself: the worker lane re-raises it at session
+            # creation, producing the identical sticky degraded reason.
+            return {"spec": spec.to_dict(), "training": ("error", _pickle_error(error)), "evaluator": None}
+        segment = None
+        if shm.shared_memory_available():
+            evaluator = result.model.compiled_evaluator()
+            bundle = self._bundles.get(id(evaluator))
+            if bundle is None:
+                bundle = shm.pack_evaluator(evaluator)
+                self._bundles[id(evaluator)] = bundle
+            segment = bundle.name
+        return {
+            "spec": spec.to_dict(),
+            "training": ("result", result.to_dict()),
+            "evaluator": segment,
+        }
+
+    async def _register(self, name: str) -> int:
+        index = shard_of(name, self._num_shards)
+        shard = self._shards[index]
+        if shard.kind == "inline":
+            self._tenants[name] = index
+            return index
+        tenant = self._service.tenant(name)
+        guard = ExitStack()
+        guard.enter_context(tenant.exclusive("serving"))
+        try:
+            payload = {"name": name, **self._shipment(name)}
+            await shard.register(payload)
+        except BaseException:
+            guard.close()
+            raise
+        self._guards[name] = guard
+        self._tenants[name] = index
+        return index
+
+    async def _shard_for(self, name: str):
+        index = self._tenants.get(name)
+        if index is not None:
+            return self._shards[index]
+        task = self._registrations.get(name)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(self._register(name))
+            self._registrations[name] = task
+        try:
+            index = await task
+        except BaseException:
+            # Leave failed registrations retryable, like lazy lane creation.
+            if self._registrations.get(name) is task:
+                del self._registrations[name]
+            raise
+        return self._shards[index]
+
+    # -- serving -------------------------------------------------------------------
+
+    async def warm(self, *tenants: str) -> None:
+        """Create (and train/ship) the given tenants' lanes up front."""
+        if self._closed:
+            raise SpecificationError("the sharded serving engine is closed")
+        self._ensure_started()
+        for name in tenants:
+            await self._shard_for(name)
+
+    async def submit(self, tenant: str, query: Query, ticket: bool = False) -> Admission:
+        """Offer one query to *tenant*'s shard (see :meth:`ServingEngine.submit`).
+
+        Per-query tickets would require shipping decision futures across
+        processes and are not supported here — use the single-process engine
+        when you need them.
+        """
+        if self._closed:
+            raise SpecificationError("the sharded serving engine is closed")
+        if ticket:
+            raise SpecificationError(
+                "per-query tickets are not supported across shard processes; "
+                "use ServingEngine for awaitable decisions"
+            )
+        self._ensure_started()
+        shard = await self._shard_for(tenant)
+        admissions = await shard.submit(tenant, [query])
+        admitted, shed_reason = admissions[0]
+        if admitted:
+            return _ADMITTED
+        return Admission(False, shed_reason=shed_reason)
+
+    async def drain(self) -> None:
+        """Wait until every admitted query on every shard has been decided."""
+        if not self._started:
+            return
+        await asyncio.gather(*(shard.drain() for shard in self._shards))
+
+    async def close(self) -> None:
+        """Close every shard, merge outcomes, and log run history once.
+
+        History rows are written by the router in sorted tenant order —
+        deterministic regardless of shard count or per-shard close timing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        outcomes: dict[str, SchedulingOutcome] = {}
+        states: dict[str, tuple[str, object]] = {}
+        try:
+            for shard in self._shards:
+                shard_outcomes, shard_states = await shard.close()
+                outcomes.update(shard_outcomes)
+                states.update(shard_states)
+        finally:
+            for guard in self._guards.values():
+                guard.close()
+            self._guards.clear()
+            for bundle in self._bundles.values():
+                bundle.close()
+                bundle.unlink()
+            self._bundles.clear()
+        self._outcomes = outcomes
+        self._lane_states = states
+        for name in sorted(outcomes):
+            self._service._record_history(name, outcomes[name], "serving")
+
+    # -- observability -------------------------------------------------------------
+
+    async def metrics(self) -> ServingMetrics:
+        """Per-shard snapshots merged into one engine-wide view.
+
+        Entries are ordered by first submission, like the single-process
+        engine's lane order; every per-tenant entry is a shard lane's counters
+        verbatim, so ``check_identities`` holds on each even mid-drain.
+        """
+        if not self._started:
+            return ServingMetrics(status="closed" if self._closed else "ok")
+        snapshots = await asyncio.gather(
+            *(shard.metrics() for shard in self._shards)
+        )
+        merged = merge_metrics(snapshots, closed=self._closed)
+        order = {name: position for position, name in enumerate(self._tenants)}
+        entries = sorted(
+            merged.tenants, key=lambda entry: order.get(entry.tenant, len(order))
+        )
+        return ServingMetrics(status=merged.status, tenants=tuple(entries))
+
+    async def health(self) -> str:
+        """Worst per-shard status (same precedence as the single engine)."""
+        return (await self.metrics()).status
+
+    def outcome(self, tenant: str) -> SchedulingOutcome:
+        """The tenant's priced outcome (after :meth:`close`); see
+        :meth:`ServingEngine.outcome` for the exact semantics mirrored here."""
+        if not self._closed:
+            raise SpecificationError(
+                "close() the engine before asking for priced outcomes"
+            )
+        if tenant not in self._tenants:
+            raise SpecificationError(f"tenant {tenant!r} was never served")
+        state, detail = self._lane_states.get(tenant, ("ok", None))
+        if state == "failed":
+            error = detail if isinstance(detail, BaseException) else _unpickle_error(detail)
+            raise error
+        if state == "degraded":
+            raise SpecificationError(
+                f"tenant {tenant!r} was served entirely degraded "
+                f"({detail}); no learned outcome exists"
+            )
+        outcome = self._outcomes.get(tenant)
+        if outcome is None:
+            raise SpecificationError(
+                f"tenant {tenant!r} has no priceable outcome "
+                "(no queries were admitted, or its shard was lost)"
+            )
+        return outcome
