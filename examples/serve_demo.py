@@ -75,9 +75,21 @@ async def serve_sharded(
             f" (late: {report.late}); sustained {report.sustained_rate:.0f}"
             " decisions/sec end to end"
         )
+        if report.utilization is not None:
+            print(
+                f"  utilization {report.utilization:.3f} of the "
+                f"{report.offered_rate:.0f}/s offered rate"
+            )
         snapshot = await engine.metrics()
         print(f"\nMerged metrics snapshot (health={snapshot.status}):")
         print(snapshot.describe())
+        if snapshot.batches_sent:
+            print(
+                f"\nPipelined admission: {snapshot.batched_queries} queries in "
+                f"{snapshot.batches_sent} batch frames "
+                f"(mean {snapshot.mean_batch_size:.1f}/frame, "
+                f"{snapshot.rtts_saved} pipe round trips saved)"
+            )
     return engine
 
 

@@ -97,6 +97,16 @@ class ServingTicket:
         """Whether the decision has been made."""
         return self._future.done()
 
+    def add_done_callback(self, fn) -> None:
+        """Schedule ``fn(future)`` on the loop once the decision resolves.
+
+        The callback receives the underlying future (result: the
+        :class:`ServingDecision`; or the lane's failure as its exception).
+        This is how the sharded worker streams ticket resolutions back over
+        the pipe without parking one task per in-flight query.
+        """
+        self._future.add_done_callback(fn)
+
     async def decision(self) -> ServingDecision:
         """Wait for (and return) the decision for this query."""
         return await self._future

@@ -62,6 +62,21 @@ class LoadReport:
     #: Decisions per wall-clock second, end to end (admitted / total).
     sustained_rate: float
 
+    @property
+    def utilization(self) -> float | None:
+        """``sustained_rate / offered_rate`` for a paced drive, else ``None``.
+
+        A paced drive's raw throughput is bounded by the offered rate — the
+        driver *waits* between arrivals — so reporting ``sustained_rate``
+        alone makes an under-loaded endpoint look slower than an overloaded
+        one.  Utilization is the honest number: ~1.0 means the engine kept up
+        with everything that was offered; firehose drives (no pacing) have no
+        offered rate to compare against and report ``None``.
+        """
+        if self.offered_rate is None or self.offered_rate <= 0:
+            return None
+        return self.sustained_rate / self.offered_rate
+
 
 def merge_streams(streams: list[TenantStream]) -> list[tuple[float, str, Query]]:
     """All arrivals in replay order: ``(arrival_time, tenant, query id)``.

@@ -81,6 +81,25 @@ class ServingMetrics:
 
     status: str
     tenants: tuple[TenantMetrics, ...] = field(default_factory=tuple)
+    #: Pipelined-admission counters, maintained by the sharded router's
+    #: per-shard outboxes (always zero for a single-process engine): frames
+    #: sent to shard workers, and queries those frames carried.  Every batch
+    #: carrying more than one query is a pipe round trip the pre-batched
+    #: request/reply protocol would have paid — see :attr:`rtts_saved`.
+    batches_sent: int = 0
+    batched_queries: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Queries per submit-batch frame (NaN before the first frame)."""
+        if self.batches_sent == 0:
+            return math.nan
+        return self.batched_queries / self.batches_sent
+
+    @property
+    def rtts_saved(self) -> int:
+        """Pipe round trips the batched protocol avoided (vs one per query)."""
+        return max(0, self.batched_queries - self.batches_sent)
 
     def tenant(self, name: str) -> TenantMetrics:
         """The snapshot entry for *name* (raises ``KeyError`` if absent)."""
@@ -132,6 +151,12 @@ class ServingMetrics:
             f"submitted={self.submitted} decided={self.decided} "
             f"shed={self.shed} degraded={self.degraded}"
         ]
+        if self.batches_sent:
+            lines.append(
+                f"  pipe: batches={self.batches_sent} "
+                f"mean_batch={self.mean_batch_size:.1f} "
+                f"rtts_saved={self.rtts_saved}"
+            )
         for entry in self.tenants:
             p50 = "-" if math.isnan(entry.decision_p50) else f"{entry.decision_p50 * 1e3:.2f}ms"
             p99 = "-" if math.isnan(entry.decision_p99) else f"{entry.decision_p99 * 1e3:.2f}ms"
@@ -191,4 +216,9 @@ def merge_metrics(
     status = next(
         (candidate for candidate in _STATUS_ORDER if candidate in statuses), "ok"
     )
-    return ServingMetrics(status=status, tenants=tuple(entries))
+    return ServingMetrics(
+        status=status,
+        tenants=tuple(entries),
+        batches_sent=sum(snapshot.batches_sent for snapshot in snapshots),
+        batched_queries=sum(snapshot.batched_queries for snapshot in snapshots),
+    )

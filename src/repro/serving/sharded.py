@@ -19,14 +19,31 @@ parallel arrays — into a ``multiprocessing.shared_memory`` segment
 shards cost one copy of the arrays plus O(1) heap per attachment instead of
 N unpickled trees.
 
+**Admission is pipelined and batched.**  The router never pays a pipe round
+trip per query: each process shard has an *outbox* that accumulates
+submissions while the pipe is busy and ships them as one framed
+``submit_batch`` message (same-tenant order preserved), fire-and-forget
+under monotonically increasing sequence numbers.  The worker unpacks a batch
+into its per-lane queues in one pass, answers with a single aggregated
+``batch_ack`` frame, and streams per-query ticket resolutions as its lanes
+decide them — so a sequential submitter's throughput is bounded by batch
+frames, not round trips.  Backpressure flows through batch-level *credits*:
+the router spends one credit per in-flight query against the worker's
+``queue_limit`` and gets them back with each ack, so ``shed`` refusals and
+``block`` suspensions behave exactly like the single-process engine's
+full-queue admission.  ``max_batch`` caps the frame size and
+``max_batch_delay`` adds an optional coalescing window; the defaults
+(unbounded, zero) mean batching only ever captures queueing that already
+happened.
+
 **Bit-identical for any shard count.**  Tenant lanes are fully independent
 in the single-process engine — no cross-tenant state — so partitioning them
 across processes cannot change any tenant's decision stream.  Shipping is
 bit-identity-preserving (round-trip tests pin it; the shared evaluator *is*
-the parent's arrays), and per-tenant arrival order is preserved because the
-router awaits each admission.  The equivalence suite locks
-``shards ∈ {1, 2, 4}`` against ``OnlineScheduler.run`` for every goal kind
-and catalog.
+the parent's arrays), and per-tenant arrival order is preserved because each
+outbox is FIFO and the worker pump admits batches in sequence order.  The
+equivalence suite locks ``shards ∈ {1, 2, 4}`` against
+``OnlineScheduler.run`` for every goal kind and catalog.
 
 **Fallback discipline.**  Mirroring
 :class:`~repro.parallel.backend.ProcessPoolBackend`, the router prefers a
@@ -38,25 +55,34 @@ degrades to *inline* shards: the same routing over in-process
 exactly the existing single-process engine.  This is also what makes the
 whole surface testable on a 1-core CI container.
 
-**Observability and history.**  ``metrics()`` merges per-shard snapshots
-with :func:`~repro.serving.metrics.merge_metrics` — tenant entries are
-concatenated verbatim, so the counter identities hold mid-drain even while
-one shard is blocked admitting.  At ``close()`` every shard prices its lanes
-locally (with per-shard history logging disabled) and the router writes all
-run-history rows itself, ordered deterministically by tenant name.
+**Observability and history.**  Control frames (``metrics``, ``register``,
+``drain``, ``close``) bypass the data outbox entirely, so snapshots stay
+available mid-burst even when a worker is wedged deciding; the worker
+answers ``metrics`` from its receive loop, folding received-but-not-yet-
+admitted batch queries into the counters so the identities hold at any
+point of the pipeline.  ``metrics()`` merges per-shard snapshots with
+:func:`~repro.serving.metrics.merge_metrics` and stamps the router's batch
+counters (frames sent, queries carried, round trips saved).  At ``close()``
+every shard prices its lanes locally (with per-shard history logging
+disabled) and the router writes all run-history rows itself, ordered
+deterministically by tenant name.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import hashlib
+import io
 import itertools
+import math
 import multiprocessing
 import os
 import pickle
 import warnings
+from collections import deque
 from contextlib import ExitStack
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.scheduler import SchedulingOutcome
 from repro.exceptions import SpecificationError, TrainingError, WiSeDBError
@@ -64,8 +90,14 @@ from repro.learning import shm
 from repro.learning.trainer import TrainingResult
 from repro.runtime.online import OnlineOptimizations
 from repro.service.service import Tenant, TenantSpec, WiSeDBService
-from repro.serving.engine import _ADMITTED, Admission, BACKPRESSURE_POLICIES, ServingEngine
-from repro.serving.metrics import ServingMetrics, merge_metrics
+from repro.serving.engine import (
+    _ADMITTED,
+    Admission,
+    BACKPRESSURE_POLICIES,
+    ServingEngine,
+    ServingTicket,
+)
+from repro.serving.metrics import ServingMetrics, TenantMetrics, merge_metrics
 from repro.workloads.query import Query
 
 #: How shards are hosted: ``process`` (forked workers), ``inline``
@@ -194,39 +226,173 @@ def _register_shipment(
     service.adopt(spec, result)
 
 
-async def _shard_worker_loop(connection, config: _ShardConfig) -> None:
-    """One worker: a full ServingEngine driven by pipe requests.
+def _ship_ticket(connection, ticket_id: int, future) -> None:
+    """Stream one resolved decision back over the pipe (future callback)."""
+    if future.cancelled():
+        frame = ("ticket", (ticket_id, "error", "ticket cancelled"))
+    else:
+        error = future.exception()
+        if error is not None:
+            frame = ("ticket", (ticket_id, "error", _pickle_error(error)))
+        else:
+            frame = ("ticket", (ticket_id, "ok", future.result()))
+    try:
+        connection.send(frame)
+    except (OSError, ValueError):  # pragma: no cover - router gone
+        pass
 
-    Request ordering matters: ``submit``/``drain``/``close`` are funneled
+
+def _ship_ticket_error(connection, ticket_id: int, error: BaseException) -> None:
+    """Resolve a router-side ticket whose query never got a lane future."""
+    try:
+        connection.send(("ticket", (ticket_id, "error", _pickle_error(error))))
+    except (OSError, ValueError):  # pragma: no cover - router gone
+        pass
+
+
+def _pending_snapshot(
+    engine: ServingEngine, pending_admission: dict[str, int]
+) -> ServingMetrics:
+    """The engine's snapshot with received-but-unadmitted batches folded in.
+
+    ``metrics`` is answered from the receive loop so it can never starve
+    behind the pump, but that means a burst the pump has not yet admitted
+    would be invisible.  Queries counted here were already accepted by the
+    router (credits spent, frame received), so they are *submitted*,
+    *admitted*, and *in flight* — which keeps both counter identities true
+    at every stage of the pipeline.
+    """
+    snapshot = engine.metrics()
+    extra = {name: n for name, n in pending_admission.items() if n > 0}
+    if not extra:
+        return snapshot
+    entries = []
+    for entry in snapshot.tenants:
+        count = extra.pop(entry.tenant, 0)
+        if count:
+            entry = replace(
+                entry,
+                submitted=entry.submitted + count,
+                admitted=entry.admitted + count,
+                in_flight=entry.in_flight + count,
+            )
+        entries.append(entry)
+    for tenant, count in extra.items():
+        entries.append(
+            TenantMetrics(
+                tenant=tenant,
+                submitted=count,
+                admitted=count,
+                shed=0,
+                decided=0,
+                degraded=0,
+                failed=0,
+                queue_depth=0,
+                in_flight=count,
+                epochs=0,
+                retrains=0,
+                cache_hits=0,
+                decision_p50=math.nan,
+                decision_p99=math.nan,
+            )
+        )
+    return ServingMetrics(status=snapshot.status, tenants=tuple(entries))
+
+
+async def _shard_worker_loop(connection, config: _ShardConfig) -> None:
+    """One worker: a full ServingEngine driven by pipelined pipe frames.
+
+    Frame ordering matters: ``submit_batch``/``drain``/``close`` are funneled
     through a single pump task so same-tenant arrivals keep their order even
-    when a full queue blocks admission (concurrent submit tasks could be
-    overtaken by a later ``put_nowait`` when the queue drains).  ``register``
-    and ``metrics`` are answered directly from the receive loop — which is
-    what keeps snapshots (and their counter identities) available while the
-    pump is blocked admitting.
+    when a full queue blocks admission.  ``register`` and ``metrics`` are
+    answered directly from the receive loop — which is what keeps snapshots
+    (and their counter identities) available while the pump is busy, with
+    received-but-unadmitted batch queries folded in by
+    :func:`_pending_snapshot`.  A batch is answered with ONE aggregated
+    ``batch_ack`` frame (per-tenant admitted counts plus any pickled lane
+    failures) that returns the router's credits; ticket resolutions stream
+    back as their decisions land, via future callbacks — never a blocking
+    wait in the pump.
     """
     loop = asyncio.get_running_loop()
     service = _ShardService(degraded_fallback=config.degraded_fallback)
     engine = ServingEngine(
         service,
         queue_limit=config.queue_limit,
-        backpressure=config.backpressure,
+        # Always block: the router's credit gate enforces the configured
+        # policy (shed refusals happen router-side before a frame is built),
+        # and credits never exceed queue_limit, so this cannot actually
+        # suspend for long — but a silent worker-side shed would desync the
+        # router's accounting, and block turns that impossibility into a
+        # stall instead of corruption.
+        backpressure="block",
         wait_resolution=config.wait_resolution,
         optimizations=config.optimizations,
         log_outcomes=False,
     )
     attachments: list = []
     requests: asyncio.Queue = asyncio.Queue()
-    #: Lanes whose epoch is held open between pipe round-trips (see below).
+    #: Lanes whose epoch is held open between batch frames (see pump()).
     holds: dict[str, object] = {}
+    #: Per-tenant queries received in batch frames but not yet admitted by
+    #: the pump (maintained by the receive loop / pump pair; single thread).
+    pending_admission: dict[str, int] = {}
 
     def reply(request_id: int, kind: str, body) -> None:
-        connection.send((request_id, (kind, body)))
+        connection.send(("reply", (request_id, kind, body)))
 
     def release_holds() -> None:
         for lane in holds.values():
             lane.blocked_putters -= 1
         holds.clear()
+
+    async def admit_batch(seq: int, groups) -> None:
+        acks: list[tuple[str, int]] = []
+        failures: list[tuple[str, object]] = []
+        for tenant, entries in groups:
+            acks.append((tenant, len(entries)))
+            try:
+                # Hold the lane's epoch open across batch frames.  Without a
+                # blocked producer the lane worker would treat an idle queue
+                # as end-of-burst and close the epoch early — splitting what
+                # an in-process burst (and ``OnlineScheduler.run``) parses as
+                # ONE epoch.  Pinning ``blocked_putters`` (the same signal an
+                # in-process submitter blocked on a full queue emits) disables
+                # only that idle flush: epochs are decided purely by the
+                # timestamp watermark until drain or close, which is exactly
+                # the direct run's grouping.
+                lane = engine._lane(tenant)
+                if tenant not in holds:
+                    holds[tenant] = lane
+                    lane.blocked_putters += 1
+            except BaseException as error:
+                pending_admission[tenant] -= len(entries)
+                failures.append((tenant, _pickle_error(error)))
+                for _query, ticket_id in entries:
+                    if ticket_id is not None:
+                        _ship_ticket_error(connection, ticket_id, error)
+                if not isinstance(error, Exception):
+                    raise
+                continue
+            for query, ticket_id in entries:
+                try:
+                    admission = await engine.submit(
+                        tenant, query, ticket=ticket_id is not None
+                    )
+                except BaseException as error:
+                    failures.append((tenant, _pickle_error(error)))
+                    if ticket_id is not None:
+                        _ship_ticket_error(connection, ticket_id, error)
+                    if not isinstance(error, Exception):
+                        raise
+                    continue
+                finally:
+                    pending_admission[tenant] -= 1
+                if ticket_id is not None and admission.ticket is not None:
+                    admission.ticket.add_done_callback(
+                        functools.partial(_ship_ticket, connection, ticket_id)
+                    )
+        connection.send(("batch_ack", (seq, acks, failures)))
 
     async def pump() -> None:
         while True:
@@ -235,27 +401,8 @@ async def _shard_worker_loop(connection, config: _ShardConfig) -> None:
                 return
             request_id, command, payload = item
             try:
-                if command == "submit":
-                    tenant, queries = payload
-                    # Hold the lane's epoch open across pipe round-trips.
-                    # The router awaits every admission reply, so between two
-                    # same-timestamp submits the lane worker sees an idle
-                    # queue and would close the epoch early — splitting what
-                    # an in-process burst (and ``OnlineScheduler.run``) parses
-                    # as ONE epoch.  Pinning ``blocked_putters`` (the same
-                    # signal an in-process submitter blocked on a full queue
-                    # emits) disables only that idle flush: epochs are decided
-                    # purely by the timestamp watermark until drain or close,
-                    # which is exactly the direct run's grouping.
-                    lane = engine._lane(tenant)
-                    if tenant not in holds:
-                        holds[tenant] = lane
-                        lane.blocked_putters += 1
-                    admissions = []
-                    for query in queries:
-                        admission = await engine.submit(tenant, query)
-                        admissions.append((admission.admitted, admission.shed_reason))
-                    reply(request_id, "admissions", admissions)
+                if command == "submit_batch":
+                    await admit_batch(request_id, payload)
                 elif command == "drain":
                     # Flush the epochs the holds kept open (the lane worker's
                     # own idle flush, run from here because the workers are
@@ -310,9 +457,20 @@ async def _shard_worker_loop(connection, config: _ShardConfig) -> None:
                 else:
                     reply(request_id, "ok", None)
             elif command == "metrics":
-                snapshot = engine.metrics()
-                reply(request_id, "metrics", snapshot)
+                reply(
+                    request_id,
+                    "metrics",
+                    _pending_snapshot(engine, pending_admission),
+                )
             else:
+                if command == "submit_batch":
+                    # Count arrivals at receipt, before the pump runs, so a
+                    # metrics answer mid-burst reflects every query the
+                    # router has already spent a credit on.
+                    for tenant, entries in payload:
+                        pending_admission[tenant] = (
+                            pending_admission.get(tenant, 0) + len(entries)
+                        )
                 requests.put_nowait((request_id, command, payload))
     finally:
         requests.put_nowait(None)
@@ -339,30 +497,129 @@ def _shard_worker_main(connection, config: _ShardConfig) -> None:
 
 
 class _ProcessShard:
-    """Router-side handle on one forked worker: pipe, reader task, futures."""
+    """Router-side handle on one worker: pipe, reader, outbox, and credits.
+
+    The data path is pipelined: :meth:`submit` spends a credit, appends to
+    the outbox, and returns — no pipe round trip.  A sender task coalesces
+    everything that accumulated while the pipe was busy into one framed
+    ``submit_batch`` (same-tenant order preserved) under monotonically
+    increasing sequence numbers; the read loop matches the worker's
+    aggregated ``batch_ack`` frames (returning credits, surfacing pickled
+    lane failures as sticky per-tenant errors) and streamed ``ticket``
+    frames against their futures.  Control requests — ``register``,
+    ``metrics``, ``drain``, ``close`` — keep the request/reply path and
+    bypass the outbox, so snapshots stay available mid-burst.
+
+    Pass ``process=None`` (with a pre-wired connection) to drive an
+    in-process :func:`_shard_worker_loop` — the protocol tests do.
+    """
 
     kind = "process"
 
-    def __init__(self, index: int, context, config: _ShardConfig) -> None:
+    def __init__(
+        self,
+        index: int,
+        config: _ShardConfig,
+        connection,
+        process=None,
+        max_batch: int | None = None,
+        max_batch_delay: float = 0.0,
+    ) -> None:
         self.index = index
-        parent_end, child_end = context.Pipe()
-        self._process = context.Process(
-            target=_shard_worker_main,
-            args=(child_end, config),
-            daemon=True,
-            name=f"wisedb-shard-{index}",
-        )
-        self._process.start()
-        child_end.close()
-        self._connection = parent_end
+        self._config = config
+        self._connection = connection
+        self._process = process
+        self._max_batch = max_batch
+        self._max_batch_delay = max_batch_delay
         self._pending: dict[int, asyncio.Future] = {}
+        self._tickets: dict[int, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._send_lock = asyncio.Lock()
+        #: Reused frame buffer: every outgoing frame pickles into the same
+        #: preallocated ``BytesIO`` (guarded by the send lock), so the hot
+        #: path never reallocates the header + payload staging area.
+        self._send_buffer = io.BytesIO()
         self._closing = False
         self._dead: WiSeDBError | None = None
-        self._reader = asyncio.get_running_loop().create_task(
+        #: tenant -> admission credits left (starts at ``queue_limit``; one
+        #: spent per outboxed query, returned by the worker's batch acks).
+        self._credits: dict[str, int] = {}
+        self._credit_waiters: dict[str, deque] = {}
+        #: tenant -> sticky lane failure reported by a batch ack.
+        self._failures: dict[str, BaseException] = {}
+        self._last_times: dict[str, float] = {}
+        self._outbox: deque = deque()
+        self._unacked: dict[int, int] = {}
+        #: tenant -> queries refused by the credit gate (the worker never
+        #: saw them; the router folds these into merged snapshots).
+        self.shed_counts: dict[str, int] = {}
+        self.batches_sent = 0
+        self.batched_queries = 0
+        loop = asyncio.get_running_loop()
+        self._outbox_event = asyncio.Event()
+        self._flushed = asyncio.Event()
+        self._flushed.set()
+        self._sender_stopping = False
+        self._reader = loop.create_task(
             self._read_loop(), name=f"wisedb-shard-{index}-reader"
         )
+        self._sender = loop.create_task(
+            self._send_loop(), name=f"wisedb-shard-{index}-sender"
+        )
+
+    @classmethod
+    def spawn(
+        cls,
+        index: int,
+        context,
+        config: _ShardConfig,
+        max_batch: int | None = None,
+        max_batch_delay: float = 0.0,
+    ) -> "_ProcessShard":
+        parent_end, child_end = context.Pipe()
+        try:
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_end, config),
+                daemon=True,
+                name=f"wisedb-shard-{index}",
+            )
+            process.start()
+        except BaseException:
+            parent_end.close()
+            child_end.close()
+            raise
+        child_end.close()
+        return cls(
+            index,
+            config,
+            parent_end,
+            process=process,
+            max_batch=max_batch,
+            max_batch_delay=max_batch_delay,
+        )
+
+    # -- framing -------------------------------------------------------------------
+
+    def _encode(self, message) -> memoryview:
+        buffer = self._send_buffer
+        buffer.seek(0)
+        buffer.truncate()
+        pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(message)
+        return buffer.getbuffer()
+
+    async def _post(self, message) -> None:
+        loop = asyncio.get_running_loop()
+        async with self._send_lock:
+            data = self._encode(message)
+            try:
+                await loop.run_in_executor(
+                    None, self._connection.send_bytes, data
+                )
+            finally:
+                data.release()
+
+    # -- the read loop: replies, batch acks, ticket streams ------------------------
 
     async def _read_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -371,29 +628,136 @@ class _ProcessShard:
                 message = await loop.run_in_executor(None, self._connection.recv)
             except (EOFError, OSError):
                 break
-            request_id, payload = message
-            future = self._pending.pop(request_id, None)
-            if future is not None and not future.done():
-                future.set_result(payload)
+            kind, body = message
+            if kind == "reply":
+                request_id, reply_kind, payload = body
+                future = self._pending.pop(request_id, None)
+                if future is not None and not future.done():
+                    future.set_result((reply_kind, payload))
+            elif kind == "batch_ack":
+                self._handle_ack(*body)
+            elif kind == "ticket":
+                ticket_id, status, payload = body
+                future = self._tickets.pop(ticket_id, None)
+                if future is not None and not future.done():
+                    if status == "ok":
+                        future.set_result(payload)
+                    else:
+                        future.set_exception(_unpickle_error(payload))
         if not self._closing:
-            self._dead = WiSeDBError(
-                f"serving shard {self.index} exited unexpectedly"
+            self._abandon(
+                WiSeDBError(f"serving shard {self.index} exited unexpectedly")
             )
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(self._dead)
-            self._pending.clear()
+
+    def _handle_ack(self, seq: int, acks, failures) -> None:
+        self._unacked.pop(seq, None)
+        for tenant, blob in failures:
+            self._failures.setdefault(tenant, _unpickle_error(blob))
+        for tenant, count in acks:
+            credit = self._credits.get(tenant, 0) + count
+            waiters = self._credit_waiters.get(tenant)
+            # Wake blocked submitters FIFO; a woken waiter owns its credit.
+            while waiters and credit > 0:
+                waiter = waiters.popleft()
+                if not waiter.done():
+                    credit -= 1
+                    waiter.set_result(None)
+            self._credits[tenant] = credit
+
+    def _abandon(self, error: WiSeDBError) -> None:
+        self._dead = error
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+        for future in self._tickets.values():
+            if not future.done():
+                future.set_exception(error)
+        self._tickets.clear()
+        for waiters in self._credit_waiters.values():
+            for waiter in waiters:
+                if not waiter.done():
+                    waiter.set_exception(error)
+        self._credit_waiters.clear()
+        self._flushed.set()
+        self._outbox_event.set()
+
+    def _abort(self) -> None:
+        """Best-effort teardown for startup failures (no protocol)."""
+        self._closing = True
+        self._sender_stopping = True
+        self._outbox_event.set()
+        try:
+            self._connection.close()
+        except OSError:  # pragma: no cover
+            pass
+        if self._process is not None:
+            self._process.terminate()
+
+    # -- the sender: outbox -> coalesced submit_batch frames -----------------------
+
+    async def _send_loop(self) -> None:
+        outbox = self._outbox
+        while True:
+            if not outbox:
+                self._flushed.set()
+                if self._sender_stopping:
+                    return
+                self._outbox_event.clear()
+                await self._outbox_event.wait()
+                continue
+            if self._max_batch_delay > 0.0:
+                # Optional coalescing window; with the default (zero) a batch
+                # only ever captures queueing that already happened while the
+                # previous frame was on the pipe.
+                await asyncio.sleep(self._max_batch_delay)
+            count = len(outbox)
+            if self._max_batch is not None:
+                count = min(count, self._max_batch)
+            groups: list[tuple[str, list]] = []
+            for _ in range(count):
+                tenant, query, ticket_id = outbox.popleft()
+                if groups and groups[-1][0] == tenant:
+                    groups[-1][1].append((query, ticket_id))
+                else:
+                    groups.append((tenant, [(query, ticket_id)]))
+            seq = next(self._ids)
+            self._unacked[seq] = count
+            self.batches_sent += 1
+            self.batched_queries += count
+            try:
+                await self._post((seq, "submit_batch", groups))
+            except (OSError, ValueError):
+                # The read loop notices the dead pipe and fails the waiters.
+                self._flushed.set()
+                return
+
+    async def flush(self) -> None:
+        """Wait until everything outboxed has been handed to the pipe.
+
+        Outbox entries are already credit-approved, so this waits only on
+        pipe writes — never on the worker's pump — and therefore cannot
+        starve behind a wedged or slow worker (acks are not awaited).
+        """
+        if self._dead is not None:
+            raise self._dead
+        await self._flushed.wait()
+        if self._dead is not None:
+            raise self._dead
+
+    # -- the control path (bypasses the outbox) ------------------------------------
 
     async def request(self, command: str, payload=None):
         if self._dead is not None:
             raise self._dead
-        loop = asyncio.get_running_loop()
         request_id = next(self._ids)
-        future = loop.create_future()
+        future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        message = (request_id, command, payload)
-        async with self._send_lock:
-            await loop.run_in_executor(None, self._connection.send, message)
+        try:
+            await self._post((request_id, command, payload))
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
         kind, body = await future
         if kind == "error":
             raise _unpickle_error(body)
@@ -401,19 +765,76 @@ class _ProcessShard:
 
     async def register(self, payload: dict) -> None:
         await self.request("register", payload)
+        self._credits.setdefault(payload["name"], self._config.queue_limit)
 
-    async def submit(self, tenant: str, queries: list[Query]):
-        return await self.request("submit", (tenant, queries))
+    # -- the data path -------------------------------------------------------------
+
+    async def submit(
+        self, tenant: str, query: Query, want_ticket: bool
+    ) -> Admission:
+        if self._dead is not None:
+            raise self._dead
+        failure = self._failures.get(tenant)
+        if failure is not None:
+            raise failure
+        last = self._last_times.get(tenant, -math.inf)
+        if query.arrival_time < last:
+            raise SpecificationError(
+                f"tenant {tenant!r}: arrival times must be non-decreasing "
+                f"(got {query.arrival_time} after {last})"
+            )
+        credits = self._credits
+        if credits.get(tenant, 0) <= 0:
+            if self._config.backpressure == "shed":
+                self.shed_counts[tenant] = self.shed_counts.get(tenant, 0) + 1
+                return Admission(
+                    False,
+                    shed_reason=(
+                        f"admission queue full "
+                        f"(limit={self._config.queue_limit}) for tenant {tenant!r}"
+                    ),
+                )
+            waiter = asyncio.get_running_loop().create_future()
+            self._credit_waiters.setdefault(tenant, deque()).append(waiter)
+            await waiter  # FIFO per tenant; raises if the shard dies
+        else:
+            credits[tenant] -= 1
+        self._last_times[tenant] = query.arrival_time
+        ticket_id = None
+        ticket_future = None
+        if want_ticket:
+            ticket_id = next(self._ids)
+            ticket_future = asyncio.get_running_loop().create_future()
+            self._tickets[ticket_id] = ticket_future
+        self._outbox.append((tenant, query, ticket_id))
+        self._flushed.clear()
+        self._outbox_event.set()
+        if ticket_future is not None:
+            return Admission(True, ticket=ServingTicket(ticket_future))
+        return _ADMITTED
 
     async def drain(self) -> None:
+        await self.flush()
         await self.request("drain")
 
     async def metrics(self) -> ServingMetrics:
+        # Flush first so a quiesced engine's snapshot includes everything
+        # already submitted (entries are credit-approved, so this cannot
+        # block on a busy worker); the metrics frame itself bypasses the
+        # outbox and is answered from the worker's receive loop.
+        await self.flush()
         return await self.request("metrics")
 
     async def close(self):
         outcomes: dict[str, SchedulingOutcome] = {}
         states: dict[str, tuple[str, object]] = {}
+        try:
+            await self.flush()
+        except WiSeDBError:
+            pass
+        self._sender_stopping = True
+        self._outbox_event.set()
+        await self._sender
         try:
             body = await self.request("close")
             outcomes, states = body[0], body[1]
@@ -429,17 +850,22 @@ class _ProcessShard:
         self._closing = True
         loop = asyncio.get_running_loop()
         try:
-            async with self._send_lock:
-                await loop.run_in_executor(
-                    None, self._connection.send, (0, "shutdown", None)
-                )
+            await self._post((0, "shutdown", None))
         except (OSError, ValueError):  # worker already gone
             pass
         await self._reader
-        await loop.run_in_executor(None, self._process.join, _JOIN_TIMEOUT)
-        if self._process.is_alive():  # pragma: no cover - join-timeout safety
-            self._process.terminate()
-            self._process.join(1.0)
+        if self._process is not None:
+            await loop.run_in_executor(None, self._process.join, _JOIN_TIMEOUT)
+            if self._process.is_alive():  # pragma: no cover - join-timeout safety
+                self._process.terminate()
+                self._process.join(1.0)
+        leftover = WiSeDBError(
+            f"serving shard {self.index} closed before the ticket resolved"
+        )
+        for future in self._tickets.values():
+            if not future.done():
+                future.set_exception(leftover)
+        self._tickets.clear()
         try:
             self._connection.close()
         except OSError:  # pragma: no cover
@@ -455,18 +881,21 @@ class _InlineShard:
     def __init__(self, index: int, engine: ServingEngine) -> None:
         self.index = index
         self.engine = engine
+        # Uniform shard surface: inline shards have no pipe, so no batching
+        # counters and no router-side sheds (the engine counts its own).
+        self.shed_counts: dict[str, int] = {}
+        self.batches_sent = 0
+        self.batched_queries = 0
 
     async def register(self, payload: dict) -> None:
         # Inline shards share the router's service: lanes train lazily on
         # first submit through the normal single-process path.
         pass
 
-    async def submit(self, tenant: str, queries: list[Query]):
-        admissions = []
-        for query in queries:
-            admission = await self.engine.submit(tenant, query)
-            admissions.append((admission.admitted, admission.shed_reason))
-        return admissions
+    async def submit(
+        self, tenant: str, query: Query, want_ticket: bool
+    ) -> Admission:
+        return await self.engine.submit(tenant, query, ticket=want_ticket)
 
     async def drain(self) -> None:
         await self.engine.drain()
@@ -485,16 +914,24 @@ class _InlineShard:
 class ShardedServingEngine:
     """A multi-process serving front end with deterministic tenant routing.
 
-    Use like the single-process engine, with two differences: ``metrics()``
-    and ``health()`` are coroutines (they round-trip worker pipes), and
-    per-query tickets are not supported across processes::
+    Use like the single-process engine, with one difference: ``metrics()``
+    and ``health()`` are coroutines (they round-trip worker pipes).
+    Per-query tickets work across processes — the worker streams decision
+    frames back and the router resolves the awaited future::
 
         async with ShardedServingEngine(service, shards=4) as engine:
-            await engine.submit("acme", query)
+            admission = await engine.submit("acme", query, ticket=True)
             ...
+            decision = await admission.ticket
             await engine.drain()
             print((await engine.metrics()).describe())
         outcome = engine.outcome("acme")   # after close: priced, unified
+
+    Admission to process shards is pipelined and batched (see the module
+    docstring); ``max_batch`` caps the queries per frame and
+    ``max_batch_delay`` adds an optional coalescing window.  The defaults —
+    unbounded batch, zero delay — add no latency and batch only what
+    queued while the pipe was busy.
 
     Outcomes are bit-identical to :class:`~repro.serving.engine.ServingEngine`
     (and therefore to ``OnlineScheduler.run``) for any shard count.
@@ -509,6 +946,8 @@ class ShardedServingEngine:
         wait_resolution: float = 30.0,
         optimizations: OnlineOptimizations | None = None,
         isolation: str = "auto",
+        max_batch: int | None = None,
+        max_batch_delay: float = 0.0,
     ) -> None:
         if backpressure not in BACKPRESSURE_POLICIES:
             raise SpecificationError(
@@ -522,6 +961,10 @@ class ShardedServingEngine:
                 f"unknown isolation mode {isolation!r}; "
                 f"choose from {ISOLATION_MODES}"
             )
+        if max_batch is not None and max_batch < 1:
+            raise SpecificationError("max_batch must be at least 1 (or None)")
+        if max_batch_delay < 0:
+            raise SpecificationError("max_batch_delay must be non-negative")
         if shards is None:
             shards = max(1, os.cpu_count() or 1)
         if shards < 1:
@@ -533,6 +976,8 @@ class ShardedServingEngine:
         self._wait_resolution = wait_resolution
         self._optimizations = optimizations
         self._isolation = isolation
+        self._max_batch = max_batch
+        self._max_batch_delay = max_batch_delay
         #: Why the router degraded from process isolation (``None`` if it
         #: did not) — same contract as ``ProcessPoolBackend.fallback_reason``.
         self.fallback_reason: str | None = None
@@ -540,7 +985,11 @@ class ShardedServingEngine:
         self._started = False
         self._closed = False
         #: tenant -> shard index, in first-submit order (snapshot ordering).
+        #: Filled once per tenant at registration, so the sha256 behind
+        #: :func:`shard_of` runs exactly once per tenant lifetime.
         self._tenants: dict[str, int] = {}
+        #: tenant -> shard object: the submit fast path (no list indexing).
+        self._routes: dict[str, object] = {}
         self._registrations: dict[str, asyncio.Task] = {}
         self._guards: dict[str, ExitStack] = {}
         self._bundles: dict[int, shm.SharedArrayBundle] = {}
@@ -622,13 +1071,17 @@ class ShardedServingEngine:
                 try:
                     for index in range(self._num_shards):
                         shards.append(
-                            _ProcessShard(index, context, self._engine_config(index))
+                            _ProcessShard.spawn(
+                                index,
+                                context,
+                                self._engine_config(index),
+                                max_batch=self._max_batch,
+                                max_batch_delay=self._max_batch_delay,
+                            )
                         )
                 except BaseException:
                     for shard in shards:
-                        shard._closing = True
-                        shard._connection.close()
-                        shard._process.terminate()
+                        shard._abort()
                     raise
             except (OSError, ValueError) as error:
                 # Same discipline as ProcessPoolBackend: degrade loudly to
@@ -670,10 +1123,13 @@ class ShardedServingEngine:
         }
 
     async def _register(self, name: str) -> int:
+        # The one shard_of call (one sha256) this tenant will ever pay;
+        # afterwards submits hit the _routes dict directly.
         index = shard_of(name, self._num_shards)
         shard = self._shards[index]
         if shard.kind == "inline":
             self._tenants[name] = index
+            self._routes[name] = shard
             return index
         tenant = self._service.tenant(name)
         guard = ExitStack()
@@ -686,12 +1142,13 @@ class ShardedServingEngine:
             raise
         self._guards[name] = guard
         self._tenants[name] = index
+        self._routes[name] = shard
         return index
 
     async def _shard_for(self, name: str):
-        index = self._tenants.get(name)
-        if index is not None:
-            return self._shards[index]
+        shard = self._routes.get(name)
+        if shard is not None:
+            return shard
         task = self._registrations.get(name)
         if task is None:
             task = asyncio.get_running_loop().create_task(self._register(name))
@@ -718,24 +1175,19 @@ class ShardedServingEngine:
     async def submit(self, tenant: str, query: Query, ticket: bool = False) -> Admission:
         """Offer one query to *tenant*'s shard (see :meth:`ServingEngine.submit`).
 
-        Per-query tickets would require shipping decision futures across
-        processes and are not supported here — use the single-process engine
-        when you need them.
+        On process shards this is pipelined: the query is credit-checked,
+        appended to the shard's outbox, and the call returns without waiting
+        for a pipe round trip.  With ``ticket=True`` the admission carries a
+        :class:`ServingTicket` resolved by the worker's streamed decision
+        frame.
         """
         if self._closed:
             raise SpecificationError("the sharded serving engine is closed")
-        if ticket:
-            raise SpecificationError(
-                "per-query tickets are not supported across shard processes; "
-                "use ServingEngine for awaitable decisions"
-            )
         self._ensure_started()
-        shard = await self._shard_for(tenant)
-        admissions = await shard.submit(tenant, [query])
-        admitted, shed_reason = admissions[0]
-        if admitted:
-            return _ADMITTED
-        return Admission(False, shed_reason=shed_reason)
+        shard = self._routes.get(tenant)
+        if shard is None:
+            shard = await self._shard_for(tenant)
+        return await shard.submit(tenant, query, ticket)
 
     async def drain(self) -> None:
         """Wait until every admitted query on every shard has been decided."""
@@ -787,11 +1239,47 @@ class ShardedServingEngine:
             *(shard.metrics() for shard in self._shards)
         )
         merged = merge_metrics(snapshots, closed=self._closed)
+        entries = {entry.tenant: entry for entry in merged.tenants}
+        # Queries the router's credit gate refused never reached a worker,
+        # so fold the router-side shed counts into the per-tenant entries
+        # to keep submitted == admitted + shed engine-wide.
+        for shard in self._shards:
+            for name, count in shard.shed_counts.items():
+                entry = entries.get(name)
+                if entry is None:
+                    entries[name] = TenantMetrics(
+                        tenant=name,
+                        submitted=count,
+                        admitted=0,
+                        shed=count,
+                        decided=0,
+                        degraded=0,
+                        failed=0,
+                        queue_depth=0,
+                        in_flight=0,
+                        epochs=0,
+                        retrains=0,
+                        cache_hits=0,
+                        decision_p50=math.nan,
+                        decision_p99=math.nan,
+                    )
+                else:
+                    entries[name] = replace(
+                        entry,
+                        submitted=entry.submitted + count,
+                        shed=entry.shed + count,
+                    )
         order = {name: position for position, name in enumerate(self._tenants)}
-        entries = sorted(
-            merged.tenants, key=lambda entry: order.get(entry.tenant, len(order))
+        ordered = sorted(
+            entries.values(),
+            key=lambda entry: order.get(entry.tenant, len(order)),
         )
-        return ServingMetrics(status=merged.status, tenants=tuple(entries))
+        return ServingMetrics(
+            status=merged.status,
+            tenants=tuple(ordered),
+            batches_sent=sum(shard.batches_sent for shard in self._shards),
+            batched_queries=sum(shard.batched_queries for shard in self._shards),
+        )
 
     async def health(self) -> str:
         """Worst per-shard status (same precedence as the single engine)."""

@@ -1,0 +1,506 @@
+"""The pipelined, batched shard-admission protocol.
+
+The sharded router no longer pays a pipe round trip per submission: queries
+are credit-checked, appended to a per-shard outbox, and coalesced into
+``submit_batch`` frames while the pipe is busy.  These tests pin the parts
+the equivalence grid cannot see:
+
+* control frames (``metrics``) bypass the data outbox, so snapshots stay
+  available while a worker is wedged mid-batch — driven with a gated
+  ``ServingEngine.submit`` so the pump is provably stuck;
+* ``max_batch`` / ``max_batch_delay`` shape the frames deterministically;
+* batch-level credits enforce ``queue_limit`` with the ``shed`` policy
+  router-side, return with acks, and lane failures come back sticky (and
+  resolve in-flight tickets);
+* a seeded interleaving of submit groups, drains, and snapshots across two
+  tenants on two shards stays bit-identical to the unbatched single-process
+  engine: per-tenant FIFO outcomes, counter identities at every snapshot,
+  and epoch-count parity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import random
+
+import pytest
+
+from repro.exceptions import SpecificationError, TrainingError
+from repro.service import WiSeDBService
+from repro.serving import ServingEngine, ShardedServingEngine, shard_of
+from repro.serving.sharded import (
+    _pickle_error,
+    _ProcessShard,
+    _ShardConfig,
+    _shard_worker_loop,
+)
+from repro.workloads.query import Query
+
+
+def _two_tenants_on_distinct_shards(shards: int = 2) -> tuple[str, str]:
+    candidates = ["acme", "globex", "initech", "umbrella", "stark", "wayne"]
+    first = candidates[0]
+    for other in candidates[1:]:
+        if shard_of(other, shards) != shard_of(first, shards):
+            return first, other
+    raise AssertionError("no shard-distinct tenant pair found")
+
+
+@pytest.fixture()
+def pair_service(small_templates, max_goal, tiny_config, trained_max):
+    service = WiSeDBService()
+    for name in _two_tenants_on_distinct_shards():
+        service.register(name, small_templates, max_goal, config=tiny_config)
+        tenant = service.tenant(name)
+        tenant.training = trained_max
+        tenant.provenance = "fresh"
+    yield service
+    service.close()
+
+
+def _config(**overrides) -> _ShardConfig:
+    base = dict(
+        index=0,
+        queue_limit=8,
+        backpressure="block",
+        wait_resolution=30.0,
+        optimizations=None,
+        degraded_fallback=True,
+    )
+    base.update(overrides)
+    return _ShardConfig(**base)
+
+
+def _local_shard(config, **shard_kwargs):
+    """A router-side shard handle wired to an in-process worker loop."""
+    parent, child = multiprocessing.Pipe()
+    worker = asyncio.ensure_future(_shard_worker_loop(child, config))
+    shard = _ProcessShard(0, config, parent, process=None, **shard_kwargs)
+    return shard, worker, child
+
+
+async def _shutdown(shard, worker, child):
+    """Run the close protocol; the worker loop owns no pipe end here, so the
+    test closes the child end once the loop exits (as ``_shard_worker_main``
+    would) to EOF the router's reader."""
+    close_task = asyncio.get_running_loop().create_task(shard.close())
+    await asyncio.wait_for(worker, timeout=30.0)
+    child.close()
+    return await asyncio.wait_for(close_task, timeout=30.0)
+
+
+def _registration(name, pair_service) -> dict:
+    spec = pair_service.tenant(name).spec
+    result = pair_service.train(name)
+    return {
+        "name": name,
+        "spec": spec.to_dict(),
+        "training": ("result", result.to_dict()),
+        "evaluator": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Control frames bypass the data outbox
+# ---------------------------------------------------------------------------
+
+
+class TestControlFrameBypass:
+    def test_metrics_answer_while_the_worker_is_wedged_mid_batch(
+        self, pair_service, monkeypatch
+    ):
+        """Regression: a gated worker (its engine's ``submit`` blocked) must
+        still answer ``metrics`` — from its receive loop, with the received-
+        but-unadmitted batch folded into the counters — and the router's
+        submits must have returned without waiting on the wedged pump."""
+        name = _two_tenants_on_distinct_shards()[0]
+        gate = asyncio.Event()
+        real_submit = ServingEngine.submit
+
+        async def gated_submit(self, tenant, query, ticket=False):
+            await gate.wait()
+            return await real_submit(self, tenant, query, ticket=ticket)
+
+        monkeypatch.setattr(ServingEngine, "submit", gated_submit)
+
+        async def main():
+            shard, worker, child = _local_shard(_config())
+            await shard.register(_registration(name, pair_service))
+            # Fire-and-forget: all three return while the pump cannot admit.
+            for _ in range(3):
+                admission = await asyncio.wait_for(
+                    shard.submit(name, Query("T1", arrival_time=0.0), False),
+                    timeout=10.0,
+                )
+                assert admission.admitted
+            snapshot = await asyncio.wait_for(shard.metrics(), timeout=10.0)
+            entry = snapshot.tenant(name)
+            entry.check_identities()
+            assert entry.submitted == 3
+            assert entry.admitted == 3
+            assert entry.in_flight == 3
+            assert entry.decided == 0
+            gate.set()
+            await asyncio.wait_for(shard.drain(), timeout=30.0)
+            drained = await shard.metrics()
+            drained.tenant(name).check_identities()
+            assert drained.tenant(name).decided == 3
+            assert shard.batches_sent >= 1
+            assert shard.batched_queries == 3
+            outcomes, states = await _shutdown(shard, worker, child)
+            assert states[name][0] == "ok"
+            assert len(outcomes[name].query_outcomes) == 3
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Batch shaping knobs
+# ---------------------------------------------------------------------------
+
+
+class TestBatchKnobs:
+    def test_max_batch_caps_the_frame_and_delay_coalesces(self, pair_service):
+        name = _two_tenants_on_distinct_shards()[0]
+
+        async def main():
+            # The 50ms window lets all five submissions land in the outbox
+            # before the sender ships anything; the cap then splits them
+            # 2 + 2 + 1 deterministically.
+            shard, worker, child = _local_shard(
+                _config(), max_batch=2, max_batch_delay=0.05
+            )
+            await shard.register(_registration(name, pair_service))
+            for index in range(5):
+                await shard.submit(
+                    name, Query("T1", arrival_time=float(index)), False
+                )
+            await asyncio.wait_for(shard.flush(), timeout=10.0)
+            assert shard.batches_sent == 3
+            assert shard.batched_queries == 5
+            await shard.drain()
+            await _shutdown(shard, worker, child)
+
+        asyncio.run(main())
+
+    def test_unbounded_batch_ships_the_whole_backlog_in_one_frame(
+        self, pair_service
+    ):
+        name = _two_tenants_on_distinct_shards()[0]
+
+        async def main():
+            shard, worker, child = _local_shard(
+                _config(), max_batch_delay=0.05
+            )
+            await shard.register(_registration(name, pair_service))
+            for index in range(5):
+                await shard.submit(
+                    name, Query("T1", arrival_time=float(index)), False
+                )
+            await asyncio.wait_for(shard.flush(), timeout=10.0)
+            assert shard.batches_sent == 1
+            assert shard.batched_queries == 5
+            await shard.drain()
+            snapshot = await shard.metrics()
+            assert snapshot.tenant(name).decided == 5
+            await _shutdown(shard, worker, child)
+
+        asyncio.run(main())
+
+    def test_knob_validation(self, pair_service):
+        with pytest.raises(SpecificationError, match="max_batch "):
+            ShardedServingEngine(pair_service, max_batch=0)
+        with pytest.raises(SpecificationError, match="max_batch_delay"):
+            ShardedServingEngine(pair_service, max_batch_delay=-0.1)
+
+    def test_knobs_reach_the_process_shards(self, pair_service):
+        async def main():
+            engine = ShardedServingEngine(
+                pair_service,
+                shards=2,
+                isolation="process",
+                max_batch=7,
+                max_batch_delay=0.001,
+            )
+            async with engine:
+                await engine.warm(*_two_tenants_on_distinct_shards())
+                if engine.effective_isolation != "process":
+                    pytest.skip(
+                        f"process shards unavailable: {engine.fallback_reason}"
+                    )
+                for shard in engine._shards:
+                    assert shard._max_batch == 7
+                    assert shard._max_batch_delay == 0.001
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Credits: shed router-side, return with acks, failures come back sticky
+# ---------------------------------------------------------------------------
+
+
+class TestBatchCredits:
+    def test_shed_policy_refuses_router_side_and_recovers_on_ack(
+        self, pair_service, monkeypatch
+    ):
+        name = _two_tenants_on_distinct_shards()[0]
+        gate = asyncio.Event()
+        real_submit = ServingEngine.submit
+
+        async def gated_submit(self, tenant, query, ticket=False):
+            await gate.wait()
+            return await real_submit(self, tenant, query, ticket=ticket)
+
+        monkeypatch.setattr(ServingEngine, "submit", gated_submit)
+
+        async def main():
+            shard, worker, child = _local_shard(
+                _config(queue_limit=2, backpressure="shed")
+            )
+            await shard.register(_registration(name, pair_service))
+            for _ in range(2):
+                admission = await shard.submit(
+                    name, Query("T1", arrival_time=0.0), False
+                )
+                assert admission.admitted
+            # Credits exhausted and no acks can arrive: shed, with the same
+            # reason string the single-process engine produces.
+            refused = await shard.submit(
+                name, Query("T1", arrival_time=0.0), False
+            )
+            assert not refused.admitted
+            assert "admission queue full (limit=2)" in refused.shed_reason
+            assert shard.shed_counts == {name: 1}
+            gate.set()
+            await asyncio.wait_for(shard.drain(), timeout=30.0)
+            # The ack returned the credits: admission works again.
+            admission = await shard.submit(
+                name, Query("T1", arrival_time=1.0), False
+            )
+            assert admission.admitted
+            await shard.drain()
+            await _shutdown(shard, worker, child)
+
+        asyncio.run(main())
+
+    def test_block_policy_suspends_until_the_ack_returns_credits(
+        self, pair_service
+    ):
+        name = _two_tenants_on_distinct_shards()[0]
+
+        async def main():
+            shard, worker, child = _local_shard(_config(queue_limit=1))
+            await shard.register(_registration(name, pair_service))
+            await shard.submit(name, Query("T1", arrival_time=0.0), False)
+            # One credit exists, so the second submit must wait for the
+            # worker's ack — but the worker is live, so it completes.
+            second = await asyncio.wait_for(
+                shard.submit(name, Query("T1", arrival_time=30.0), False),
+                timeout=30.0,
+            )
+            assert second.admitted
+            await shard.drain()
+            snapshot = await shard.metrics()
+            entry = snapshot.tenant(name)
+            entry.check_identities()
+            assert entry.decided == 2 and entry.shed == 0
+            await _shutdown(shard, worker, child)
+
+        asyncio.run(main())
+
+    def test_lane_failure_comes_back_sticky_and_fails_tickets(
+        self, pair_service
+    ):
+        name = _two_tenants_on_distinct_shards()[0]
+        spec = pair_service.tenant(name).spec
+
+        async def main():
+            shard, worker, child = _local_shard(
+                _config(degraded_fallback=False)
+            )
+            await shard.register(
+                {
+                    "name": name,
+                    "spec": spec.to_dict(),
+                    "training": (
+                        "error",
+                        _pickle_error(TrainingError("model artifact corrupt")),
+                    ),
+                    "evaluator": None,
+                }
+            )
+            admission = await shard.submit(
+                name, Query("T1", arrival_time=0.0), True
+            )
+            assert admission.admitted  # the failure is only known post-ack
+            with pytest.raises(TrainingError, match="artifact corrupt"):
+                await asyncio.wait_for(
+                    admission.ticket.decision(), timeout=30.0
+                )
+            # The batch ack carried the failure: it is sticky router-side.
+            for _ in range(200):
+                if shard._failures:
+                    break
+                await asyncio.sleep(0.01)
+            with pytest.raises(TrainingError, match="artifact corrupt"):
+                await shard.submit(name, Query("T1", arrival_time=1.0), False)
+            await _shutdown(shard, worker, child)
+
+        asyncio.run(main())
+
+    def test_arrival_regression_raises_synchronously(self, pair_service):
+        """Arrival-time monotonicity is validated router-side, before the
+        query is outboxed — the error surfaces at the submit call, exactly
+        like the single-process engine, not in a later ack."""
+        name = _two_tenants_on_distinct_shards()[0]
+
+        async def main():
+            shard, worker, child = _local_shard(_config())
+            await shard.register(_registration(name, pair_service))
+            await shard.submit(name, Query("T1", arrival_time=10.0), False)
+            with pytest.raises(SpecificationError, match="non-decreasing"):
+                await shard.submit(name, Query("T1", arrival_time=5.0), False)
+            await shard.drain()
+            await _shutdown(shard, worker, child)
+
+        asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# Seeded interleaving: batched path == unbatched path (satellite property)
+# ---------------------------------------------------------------------------
+
+
+def _script(seed: int, tenants, templates, groups: int = 24):
+    """A seeded interleaving of submit groups, drains, and snapshots.
+
+    Same-timestamp groups are emitted contiguously per tenant and every
+    group strictly advances that tenant's clock — the same discipline the
+    open-loop driver guarantees, and the precondition for epoch grouping to
+    be deterministic on *both* engines.
+    """
+    rng = random.Random(seed)
+    clocks = {tenant: 0.0 for tenant in tenants}
+    ops = []
+    for _ in range(groups):
+        roll = rng.random()
+        if roll < 0.10:
+            ops.append(("drain",))
+        elif roll < 0.22:
+            ops.append(("metrics",))
+        else:
+            tenant = rng.choice(tenants)
+            clocks[tenant] += rng.choice((30.0, 60.0, 90.0))
+            # Build the Query objects once: ids come from a global counter,
+            # and both engines must see the *same* queries to produce
+            # bit-identical outcomes (exactly how the equivalence grid
+            # replays one workload into both paths).
+            batch = [
+                Query(rng.choice(templates), arrival_time=clocks[tenant])
+                for _ in range(rng.randint(1, 3))
+            ]
+            ops.append(("group", tenant, batch))
+    return ops
+
+
+async def _apply(engine, ops, metrics_async: bool):
+    async def snapshot():
+        result = (await engine.metrics()) if metrics_async else engine.metrics()
+        for entry in result.tenants:
+            entry.check_identities()
+        return result
+
+    for op in ops:
+        if op[0] == "group":
+            _, tenant, batch = op
+            for query in batch:
+                admission = await engine.submit(tenant, query)
+                assert admission.admitted
+        elif op[0] == "drain":
+            await engine.drain()
+        else:
+            await snapshot()
+    await engine.drain()
+    final = await snapshot()
+    await engine.close()
+    return final
+
+
+def _outcome_fingerprint(outcome) -> dict:
+    return {
+        "cost": (
+            outcome.cost.startup_cost,
+            outcome.cost.execution_cost,
+            outcome.cost.penalty_cost,
+            outcome.cost.total,
+        ),
+        "schedule": [
+            (vm.vm_type.name, tuple(query.query_id for query in vm.queries))
+            for vm in outcome.schedule
+        ],
+        "records": [
+            (
+                record.query_id,
+                record.vm_index,
+                record.arrival_time,
+                record.start_time,
+                record.completion_time,
+            )
+            for record in outcome.query_outcomes
+        ],
+        "decisions": outcome.overhead.decisions,
+    }
+
+
+class TestInterleavedEquivalence:
+    @pytest.mark.parametrize(
+        "seed,queue_limit", [(11, 1024), (23, 2), (47, 1024)]
+    )
+    def test_batched_path_matches_the_unbatched_engine(
+        self, pair_service, seed, queue_limit
+    ):
+        tenants = _two_tenants_on_distinct_shards()
+        ops = _script(seed, tenants, ("T1", "T2", "T3"))
+
+        async def sharded():
+            engine = ShardedServingEngine(
+                pair_service,
+                shards=2,
+                isolation="process",
+                queue_limit=queue_limit,
+            )
+            async with engine:
+                final = await _apply(engine, ops, metrics_async=True)
+                if engine.effective_isolation != "process":
+                    pytest.skip(
+                        f"process shards unavailable: {engine.fallback_reason}"
+                    )
+            return final, {
+                name: _outcome_fingerprint(engine.outcome(name))
+                for name in tenants
+            }
+
+        async def single():
+            engine = ServingEngine(pair_service, queue_limit=queue_limit)
+            final = await _apply(engine, ops, metrics_async=False)
+            return final, {
+                name: _outcome_fingerprint(engine.outcome(name))
+                for name in tenants
+            }
+
+        batched_final, batched_outcomes = asyncio.run(sharded())
+        plain_final, plain_outcomes = asyncio.run(single())
+
+        # Per-tenant FIFO and decisions: the priced outcomes (query order,
+        # placements, costs, decision counts) are bit-identical.
+        assert batched_outcomes == plain_outcomes
+        for name in tenants:
+            batched_entry = batched_final.tenant(name)
+            plain_entry = plain_final.tenant(name)
+            assert batched_entry.submitted == plain_entry.submitted
+            assert batched_entry.decided == plain_entry.decided
+            assert batched_entry.shed == plain_entry.shed == 0
+            # Epoch parity: batching frames must not merge or split epochs.
+            assert batched_entry.epochs == plain_entry.epochs

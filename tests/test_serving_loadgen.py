@@ -108,6 +108,35 @@ class TestOfferedRateHonesty:
             _drive(_FakeEngine(), [stream], target_rate=0.0)
 
 
+class TestUtilization:
+    def test_paced_drive_reports_utilization_against_the_offered_rate(
+        self, small_templates
+    ):
+        """A paced drive's raw throughput is capped by the offered rate, so
+        the honest headline is the ratio — an engine that keeps up shows
+        ~1.0, not a 'slow' absolute number."""
+        stream = _stream(small_templates, [0.0, 0.005, 0.01, 0.015])
+        report = _drive(_FakeEngine(), [stream], target_rate=400.0)
+        assert report.offered_rate == 400.0
+        assert report.utilization is not None
+        assert report.utilization == pytest.approx(
+            report.sustained_rate / 400.0
+        )
+        # The fake engine decides instantly: it kept up with the schedule.
+        assert 0.5 < report.utilization <= 1.1
+
+    def test_firehose_drive_has_no_utilization(self, small_templates):
+        stream = _stream(small_templates, [0.0, 1.0, 2.0])
+        report = _drive(_FakeEngine(), [stream])
+        assert report.offered_rate is None
+        assert report.utilization is None
+
+    def test_zero_span_schedule_has_no_utilization(self, small_templates):
+        stream = _stream(small_templates, [5.0] * 4)
+        report = _drive(_FakeEngine(), [stream], target_rate=100.0)
+        assert report.utilization is None
+
+
 class TestReplayOrder:
     def test_merge_keeps_same_timestamp_groups_contiguous(self, small_templates):
         acme = _stream(small_templates, [0.0, 0.0, 1.0], tenant="acme")

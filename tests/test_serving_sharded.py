@@ -248,15 +248,32 @@ def test_forced_inline_isolation_needs_no_fallback(services, sharded_templates):
 
 
 class TestEngineSurface:
-    def test_tickets_are_not_supported(self, services):
+    def test_tickets_resolve_across_process_shards(self, services):
         async def main():
-            async with ShardedServingEngine(services["1vm"], shards=2) as engine:
-                with pytest.raises(SpecificationError, match="tickets"):
-                    await engine.submit(
-                        "max", Query("G1", arrival_time=0.0), ticket=True
-                    )
+            async with ShardedServingEngine(
+                services["1vm"], shards=2, isolation="process"
+            ) as engine:
+                first = await engine.submit(
+                    "max", Query("G1", arrival_time=0.0), ticket=True
+                )
+                assert first.admitted and first.ticket is not None
+                # A later timestamp closes the first epoch, so the first
+                # ticket must stream back while the engine is still serving —
+                # not only at drain/close time.
+                second = await engine.submit(
+                    "max", Query("G1", arrival_time=1.0), ticket=True
+                )
+                early = await first.ticket.decision()
+                await engine.drain()
+                late = await second.ticket.decision()
+                assert engine.effective_isolation == "process"
+                return early, late
 
-        asyncio.run(main())
+        early, late = asyncio.run(main())
+        assert early.tenant == "max" and late.tenant == "max"
+        assert early.template_name == "G1"
+        assert early.vm_index is not None and not early.degraded
+        assert late.epoch_time >= early.epoch_time
 
     def test_closed_engine_refuses_submissions(self, services):
         async def main():
@@ -552,9 +569,10 @@ class TestMergeMetricsFunction:
 
 class TestWorkerProtocol:
     def test_full_session_over_a_local_pipe(self, pair_service, small_templates):
-        """Register → submit (multi-query epoch) → metrics → drain → close →
-        shutdown, with the worker loop running as a local task so the whole
-        protocol is exercised without fork."""
+        """Register → submit_batch (multi-query epoch, one aggregated ack with
+        credits) → metrics → drain → close → shutdown, with the worker loop
+        running as a local task so the whole batched protocol is exercised
+        without fork."""
         name = "acme"
         spec = pair_service.tenant(name).spec
         result = pair_service.train(name)
@@ -576,13 +594,17 @@ class TestWorkerProtocol:
             if shm.shared_memory_available():
                 bundle = shm.pack_evaluator(result.model.compiled_evaluator())
 
+            async def recv():
+                return await asyncio.wait_for(
+                    loop.run_in_executor(None, parent.recv), timeout=30.0
+                )
+
             async def request(request_id, command, payload=None):
                 await loop.run_in_executor(
                     None, parent.send, (request_id, command, payload)
                 )
-                got_id, (kind, body) = await asyncio.wait_for(
-                    loop.run_in_executor(None, parent.recv), timeout=30.0
-                )
+                frame, (got_id, kind, body) = await recv()
+                assert frame == "reply"
                 assert got_id == request_id
                 return kind, body
 
@@ -598,14 +620,34 @@ class TestWorkerProtocol:
                     },
                 )
                 assert kind == "ok"
-                kind, admissions = await request(2, "submit", (name, queries))
-                assert kind == "admissions"
-                assert admissions == [(True, None), (True, None)]
+                # One fire-and-forget batch frame carrying the whole epoch,
+                # with a ticket on the second query.
+                groups = [(name, [(queries[0], None), (queries[1], 7)])]
+                await loop.run_in_executor(
+                    None, parent.send, (2, "submit_batch", groups)
+                )
+                frame, (seq, acks, failures) = await recv()
+                assert frame == "batch_ack"
+                assert seq == 2
+                assert acks == [(name, 2)]  # credits for every entry, in one ack
+                assert failures == []
                 kind, snapshot = await request(3, "metrics")
                 assert kind == "metrics"
-                snapshot.tenant(name).check_identities()
-                kind, _ = await request(4, "drain")
-                assert kind == "ok"
+                entry = snapshot.tenant(name)
+                entry.check_identities()
+                assert entry.submitted == 2 and entry.decided == 0
+                # Draining closes the held epoch, so the ticketed decision
+                # streams back around the drain reply (relative order between
+                # the two frames is not part of the protocol).
+                await loop.run_in_executor(None, parent.send, (4, "drain", None))
+                frames = dict([await recv(), await recv()])
+                assert set(frames) == {"reply", "ticket"}
+                got_id, kind, _body = frames["reply"]
+                assert got_id == 4 and kind == "ok"
+                ticket_id, status, decision = frames["ticket"]
+                assert ticket_id == 7 and status == "ok"
+                assert decision.tenant == name
+                assert decision.template_name == "T2"
                 kind, (outcomes, states) = await request(5, "close")
                 assert kind == "closed"
                 assert states[name][0] == "ok"
